@@ -1,0 +1,70 @@
+// Command aiacbench regenerates the tables and figures of the paper's
+// evaluation section on the simulated grids.
+//
+// Usage:
+//
+//	aiacbench -table 1        # experiment parameters
+//	aiacbench -table 2        # sparse linear problem comparison
+//	aiacbench -table 3        # non-linear problem comparison
+//	aiacbench -table 4        # per-environment thread policies
+//	aiacbench -figure 3       # scalability sweep
+//	aiacbench -all            # everything
+//	aiacbench -all -paper     # at the paper's full problem sizes (slow)
+//	aiacbench -all -procs 24  # override the processor count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aiac/internal/bench"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate table 1, 2, 3 or 4")
+		figure = flag.Int("figure", 0, "regenerate figure 3")
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		paper  = flag.Bool("paper", false, "use the paper's full problem sizes (hours)")
+		procs  = flag.Int("procs", 0, "override the processor count of tables 2-3")
+	)
+	flag.Parse()
+
+	scale := bench.DefaultScale()
+	if *paper {
+		scale = bench.PaperScale()
+	}
+	if *procs > 0 {
+		scale.NProcs = *procs
+	}
+
+	did := false
+	want := func(t int) bool { return *all || *table == t }
+
+	if want(1) {
+		fmt.Println(bench.Table1(scale))
+		did = true
+	}
+	if want(2) {
+		fmt.Println(bench.FormatRows("Table 2: execution times for the sparse linear problem", bench.Table2(scale)))
+		did = true
+	}
+	if want(3) {
+		fmt.Println(bench.FormatRows("Table 3: execution times on each cluster for the non-linear problem", bench.Table3(scale)))
+		did = true
+	}
+	if want(4) {
+		fmt.Println(bench.Table4())
+		did = true
+	}
+	if *all || *figure == 3 {
+		fmt.Println(bench.FormatFigure3(bench.Figure3(scale)))
+		did = true
+	}
+	if !did {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table N, -figure 3 or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+}

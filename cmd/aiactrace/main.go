@@ -1,0 +1,47 @@
+// Command aiactrace renders the execution-flow figures of the paper: the
+// SISC trace with idle gaps between iterations (Figure 1) and the AIAC
+// trace without them (Figure 2), as ASCII Gantt charts.
+//
+// Usage:
+//
+//	aiactrace              # both figures
+//	aiactrace -mode sisc   # Figure 1 only
+//	aiactrace -mode aiac   # Figure 2 only
+//	aiactrace -width 120   # wider chart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aiac/internal/bench"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "both", "sisc, aiac or both")
+		width = flag.Int("width", 72, "chart width in characters")
+	)
+	flag.Parse()
+
+	sisc, async := bench.Figures12(bench.DefaultScale())
+	switch *mode {
+	case "sisc":
+		fmt.Println("Figure 1: execution flow of a SISC algorithm with two processors")
+		fmt.Print(sisc.Gantt(*width))
+	case "aiac":
+		fmt.Println("Figure 2: execution flow of an AIAC algorithm with two processors")
+		fmt.Print(async.Gantt(*width))
+	case "both":
+		fmt.Println("Figure 1: execution flow of a SISC algorithm with two processors")
+		fmt.Print(sisc.Gantt(*width))
+		fmt.Printf("\nmean idle fraction: %.1f%%\n\n", 100*sisc.MeanIdleFraction())
+		fmt.Println("Figure 2: execution flow of an AIAC algorithm with two processors")
+		fmt.Print(async.Gantt(*width))
+		fmt.Printf("\nmean idle fraction: %.1f%%\n", 100*async.MeanIdleFraction())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,58 @@
+// Chemsim runs the paper's non-linear test problem — a two-species
+// advection-diffusion system with diurnal kinetics — on a simulated 3-site
+// grid using asynchronous multisplitting Newton, and prints per-time-step
+// physics diagnostics.
+//
+//	go run ./examples/chemsim
+package main
+
+import (
+	"fmt"
+
+	"aiac/internal/aiac"
+	"aiac/internal/chem"
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+	"aiac/internal/env/madmpi"
+	"aiac/internal/gmres"
+	"aiac/internal/problems"
+)
+
+func main() {
+	const (
+		nx, nz = 60, 40
+		nprocs = 8
+		h      = 180.0 // s
+		tEnd   = 1080.0
+	)
+	fmt.Printf("Non-linear chemical problem: %dx%d grid, %d processors, dt=%gs, t in [0,%gs]\n\n",
+		nx, nz, nprocs, h, tEnd)
+
+	sim := des.New()
+	grid := cluster.ThreeSiteEthernet(sim, nprocs)
+	env := madmpi.MustNew(grid, madmpi.NonLinear, nil)
+	p := chem.New(nx, nz)
+	y := p.InitialState()
+	m1, m2 := p.TotalMass(y)
+	fmt.Printf("t=%6.0fs  mass(c1)=%.4e  mass(c2)=%.4e  (initial)\n", 0.0, m1, m2)
+
+	run := problems.RunChem(grid, env, p, y, h, tEnd,
+		gmres.Params{Tol: 1e-7, Restart: 30},
+		aiac.Config{Mode: aiac.Async, Eps: 1e-7})
+
+	// Replay the steps for the physics narrative.
+	yk := y
+	for i, rep := range run.Steps {
+		yk = rep.X
+		m1, m2 = p.TotalMass(yk)
+		q3, q4 := chem.Rates(float64(i+1) * h)
+		fmt.Printf("t=%6.0fs  mass(c1)=%.4e  mass(c2)=%.4e  q3=%.2e q4=%.2e  iters=%d  %s\n",
+			float64(i+1)*h, m1, m2, q3, q4, rep.TotalIters(), rep.Reason)
+	}
+
+	fmt.Printf("\nvirtual execution time: %v over %d time steps (all converged: %v)\n",
+		run.Elapsed, len(run.Steps), run.AllConverged())
+	fmt.Printf("min concentration at end: %.3e\n", chem.MinConcentration(run.Y))
+	fmt.Println("(pre-dawn interval: photolysis rates q3, q4 are near zero, so c1 decays into c2;")
+	fmt.Println(" run longer horizons to watch the diurnal cycle regenerate it)")
+}

@@ -1,0 +1,43 @@
+// Realtime runs the same AIAC algorithm on the real Go runtime — goroutines
+// and channels in wall-clock time — instead of the discrete-event
+// simulator, demonstrating that Go natively provides every feature the
+// paper's §6 demands from a parallel programming environment.
+//
+//	go run ./examples/realtime
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"aiac/internal/la"
+	"aiac/internal/problems"
+	"aiac/internal/realrt"
+)
+
+func main() {
+	const n, diags = 10000, 16
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 4 {
+		workers = 4 // goroutines multiplex fine on fewer cores
+	}
+	fmt.Printf("Wall-clock AIAC on goroutines: n=%d, %d workers\n\n", n, workers)
+	fmt.Println("paper §6 feature          Go construct")
+	fmt.Println("------------------------  -----------------------------------")
+	fmt.Println("multi-threading           goroutines")
+	fmt.Println("fair thread scheduler     Go runtime scheduler")
+	fmt.Println("async send-if-free        select { case ch <- m: default: }")
+	fmt.Println("receive threads on demand one receiver goroutine per channel")
+	fmt.Println("mutex system              sync.Mutex")
+	fmt.Println()
+
+	prob := problems.NewLinear(n, diags, 0.85, 7)
+	res := realrt.Solve(prob, realrt.Config{Eps: 1e-9, Workers: workers})
+
+	fmt.Printf("converged: %v in %v (wall clock)\n", res.Converged, res.Elapsed)
+	fmt.Printf("per-worker iterations: %v\n", res.ItersPerRank)
+	fmt.Printf("error vs known solution: %.2e\n", la.MaxNormDiff(res.X, prob.XTrue))
+}

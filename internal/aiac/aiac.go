@@ -1,0 +1,335 @@
+// Package aiac implements the paper's core contribution: the AIAC
+// (Asynchronous Iterations, Asynchronous Communications) parallel iterative
+// algorithm engine, together with its synchronous SISC counterpart used as
+// the baseline in every experiment.
+//
+// The engine is generic along the two axes the paper varies:
+//
+//   - the problem being iterated (sparse linear system, multisplitting
+//     Newton for the non-linear chemical problem) via the Problem interface;
+//   - the middleware environment carrying the communications (simulated
+//     PM2, MPICH/Madeleine, OmniORB, plain synchronous MPI) via the Comm and
+//     Env interfaces.
+//
+// The asynchronous semantics follow §4.3 of the paper exactly:
+//
+//   - every processor iterates on its own block using whatever dependency
+//     data is currently available — no waiting;
+//   - new local values are sent asynchronously after each iteration, but a
+//     send to a given destination is skipped (not queued) if the previous
+//     send of the same data to the same destination is still in progress;
+//   - receipts happen in middleware threads at any time and are incorporated
+//     at the next iteration;
+//   - global convergence is detected centrally: each processor reports
+//     local-convergence *changes* to rank 0 after a persistence threshold of
+//     consecutive locally-converged iterations — hardened here with a
+//     two-phase confirmation (see StateMsg) — and rank 0 broadcasts a stop
+//     signal once every processor has confirmed;
+//   - an iteration cap bounds runaway executions.
+package aiac
+
+import (
+	"aiac/internal/des"
+	"aiac/internal/trace"
+)
+
+// Mode selects the iteration scheme.
+type Mode int
+
+const (
+	// Async is the AIAC scheme (Figure 2).
+	Async Mode = iota
+	// Sync is the SISC scheme (Figure 1): synchronous iterations with a
+	// blocking data exchange and a global residual reduction per
+	// iteration.
+	Sync
+)
+
+func (m Mode) String() string {
+	if m == Sync {
+		return "sync"
+	}
+	return "async"
+}
+
+// Segment is a half-open interval [Lo,Hi) of the global iterate vector.
+type Segment struct{ Lo, Hi int }
+
+// Len returns the number of elements in the segment.
+func (s Segment) Len() int { return s.Hi - s.Lo }
+
+// DataMsg is a block of freshly computed values arriving from a peer.
+type DataMsg struct {
+	From   int
+	Iter   int
+	Key    int
+	Lo     int
+	Values []float64
+}
+
+// StateMsg reports a local-convergence change to the coordinator.
+//
+// The engine hardens the paper's detection with a two-phase local protocol:
+// a processor that reaches local convergence does not tell the coordinator
+// immediately — it first waits until it has received at least one *fresh*
+// message on every dependency channel (sent after it converged) while
+// remaining converged, and only then reports Converged=true ("confirmed").
+// Because the per-pair channels are FIFO, a confirmation guarantees no
+// older (staler) data is still in flight towards this processor, which
+// closes the classic premature-termination hazard of centralized AIAC
+// convergence detection. A residual bump at any point sends
+// Converged=false and restarts the phase machine.
+type StateMsg struct {
+	From      int
+	Converged bool
+	Seq       int
+	// MaxGap is the longest interval this processor observed between
+	// consecutive data arrivals on any dependency channel (diagnostic;
+	// it bounds the confirmation delay).
+	MaxGap des.Time
+}
+
+// Outgoing is a data block to transmit. Values ownership passes to the
+// transport (callers must snapshot).
+type Outgoing struct {
+	To     int
+	Key    int // identifies the (destination, segment) send channel
+	Iter   int
+	Lo     int
+	Values []float64
+}
+
+// Comm is the communication contract a middleware environment offers one
+// rank. It captures the feature list of the paper's §6: point-to-point
+// communication, asynchronous receipt in threads, and the global operations
+// needed by the synchronous baseline and the halting procedure.
+type Comm interface {
+	// Rank and Size identify this endpoint.
+	Rank() int
+	Size() int
+
+	// TrySendData starts an asynchronous send. It returns false — and
+	// sends nothing — when the previous send with the same (To, Key) is
+	// still in progress (the paper's send-skipping policy).
+	TrySendData(p *des.Proc, o Outgoing) bool
+
+	// SetDataSink registers the callback invoked by the middleware's
+	// receive machinery for every arriving DataMsg.
+	SetDataSink(fn func(DataMsg))
+
+	// SendState reports a convergence-state change to rank 0. State
+	// messages are never skipped.
+	SendState(p *des.Proc, st StateMsg)
+
+	// SetStateSink registers the coordinator callback (used on rank 0).
+	// The des.Proc is the middleware thread delivering the message, which
+	// the coordinator may use to send the stop broadcast.
+	SetStateSink(fn func(p *des.Proc, st StateMsg))
+
+	// BroadcastStop tells every rank (including the caller) to halt.
+	BroadcastStop(p *des.Proc)
+
+	// Stop returns the gate opened by the stop broadcast.
+	Stop() *des.Gate
+
+	// Barrier blocks until all ranks have reached it.
+	Barrier(p *des.Proc)
+
+	// SyncExchange implements the SISC data exchange: it performs the
+	// given sends with blocking semantics, then blocks until nRecv data
+	// messages have been received and handed to the data sink.
+	SyncExchange(p *des.Proc, sends []Outgoing, nRecv int)
+
+	// AllreduceMax returns the maximum of v over all ranks, at all ranks.
+	AllreduceMax(p *des.Proc, v float64) float64
+
+	// AllreduceSum returns the element-wise sums of vs over all ranks,
+	// at all ranks. It is the collective behind the distributed dot
+	// products of the classical (synchronous) parallel GMRES.
+	AllreduceSum(p *des.Proc, vs []float64) []float64
+
+	// ResetSession clears per-session state (the stop gate, send-channel
+	// bookkeeping) so the environment can be reused across the time steps
+	// of the non-linear problem.
+	ResetSession()
+}
+
+// Env is a middleware environment instantiated over a grid.
+type Env interface {
+	// Name identifies the environment ("pm2", "mpi/mad", "omniorb4",
+	// "sync-mpi").
+	Name() string
+	// Comm returns the endpoint of rank r.
+	Comm(r int) Comm
+	// ThreadPolicy describes the send/receive thread configuration
+	// (the rows of Table 4).
+	ThreadPolicy() string
+}
+
+// Problem is one distributed fixed-point problem x = g(x).
+type Problem interface {
+	// Name identifies the problem for reports.
+	Name() string
+	// Size returns the global vector length.
+	Size() int
+	// PartitionBounds returns the nranks+1 ownership boundaries of the
+	// iterate vector.
+	PartitionBounds(nranks int) []int
+	// InitialVector returns x^0. The engine copies it per rank.
+	InitialVector() []float64
+	// DepsFor returns the global-vector segments rank needs but does not
+	// own (its data dependencies, §4.3). Segments must be disjoint,
+	// sorted, and exclude the rank's own block.
+	DepsFor(rank int, bounds []int) []Segment
+	// Update performs one local iteration on the block bounds[rank] ..
+	// bounds[rank+1] of x, reading current ghost values in the rest of x
+	// and overwriting the block in place. It returns the local residual
+	// (max-norm of the block change, Equ. 6) and the flop count to charge
+	// to the CPU.
+	Update(rank int, bounds []int, x []float64) (residual, flops float64)
+}
+
+// Config tunes a solve.
+type Config struct {
+	// Mode selects AIAC (Async) or SISC (Sync).
+	Mode Mode
+	// Eps is the local convergence threshold on the residual (Equ. 5).
+	Eps float64
+	// PersistIters is the number of consecutive locally-converged
+	// iterations required before a processor reports local convergence
+	// (§4.3's guard against residual oscillation). Default 3.
+	PersistIters int
+	// MaxIters bounds the iterations of every processor (§4.3's guard
+	// against non-convergence). Default 100000.
+	MaxIters int
+	// StopGrace is a short quiet window the coordinator waits after
+	// seeing every processor confirm local convergence (see StateMsg)
+	// before broadcasting stop; a retreat arriving in the window cancels
+	// the pending stop. With two-phase confirmation this is a cheap
+	// backstop against reordering, not the primary safety mechanism.
+	// Default 1ms of virtual time.
+	StopGrace des.Time
+	// Trace, when non-nil, records execution flow for Figures 1-2.
+	Trace *trace.Collector
+}
+
+func (c Config) withDefaults() Config {
+	if c.PersistIters <= 0 {
+		c.PersistIters = 3
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 100000
+	}
+	if c.Eps <= 0 {
+		c.Eps = 1e-8
+	}
+	if c.StopGrace <= 0 {
+		c.StopGrace = 1e6 // 1ms floor; see the field comment
+	}
+	return c
+}
+
+// StopReason tells how a run ended.
+type StopReason string
+
+const (
+	// StopConverged means global convergence was detected and broadcast.
+	StopConverged StopReason = "converged"
+	// StopIterCap means at least one rank hit MaxIters first.
+	StopIterCap StopReason = "iteration-cap"
+)
+
+// Report is the outcome of one engine run.
+type Report struct {
+	// Elapsed is the virtual wall-clock of the solve: from the post-
+	// barrier start to the instant the last rank finished.
+	Elapsed des.Time
+	// Start and End are the absolute virtual times of the run.
+	Start, End des.Time
+	// X is the assembled final iterate (each rank's own block).
+	X []float64
+	// ItersPerRank counts the local iterations each rank performed —
+	// under AIAC these differ (heterogeneous machines iterate at their
+	// own pace); under SISC they are equal.
+	ItersPerRank []int
+	// Reason tells whether the run converged or hit the cap.
+	Reason StopReason
+	// StateMsgs counts convergence-state messages received by the
+	// coordinator (§4.3: several per rank are possible because local
+	// convergence may oscillate).
+	StateMsgs int
+}
+
+// TotalIters sums ItersPerRank.
+func (r *Report) TotalIters() int {
+	t := 0
+	for _, n := range r.ItersPerRank {
+		t += n
+	}
+	return t
+}
+
+// SendPlan precomputes who sends what to whom: for each rank, the list of
+// outgoing (destination, segment) channels, derived by intersecting every
+// other rank's dependency list with this rank's block.
+type SendPlan struct {
+	// Targets[r] lists the sends rank r performs each iteration.
+	Targets [][]PlanTarget
+	// RecvCount[r] is the number of data messages rank r receives per
+	// complete exchange (used by the synchronous mode).
+	RecvCount []int
+}
+
+// PlanTarget is one (destination, segment) send channel.
+type PlanTarget struct {
+	To  int
+	Key int
+	Seg Segment
+}
+
+// BuildSendPlan derives the communication plan from the problem's
+// dependency lists (§4.3: "the first step of the algorithm consists in
+// computing the dependencies on each processor and communicating them to
+// all others").
+func BuildSendPlan(prob Problem, bounds []int) *SendPlan {
+	nranks := len(bounds) - 1
+	plan := &SendPlan{
+		Targets:   make([][]PlanTarget, nranks),
+		RecvCount: make([]int, nranks),
+	}
+	key := 0
+	for consumer := 0; consumer < nranks; consumer++ {
+		for _, dep := range prob.DepsFor(consumer, bounds) {
+			// Split the dependency segment by owner.
+			for owner := 0; owner < nranks; owner++ {
+				lo, hi := bounds[owner], bounds[owner+1]
+				slo, shi := maxInt(dep.Lo, lo), minInt(dep.Hi, hi)
+				if slo >= shi || owner == consumer {
+					continue
+				}
+				plan.Targets[owner] = append(plan.Targets[owner], PlanTarget{
+					To:  consumer,
+					Key: key,
+					Seg: Segment{slo, shi},
+				})
+				plan.RecvCount[consumer]++
+				key++
+			}
+		}
+	}
+	return plan
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

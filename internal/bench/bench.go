@@ -1,0 +1,335 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5): the experiment definitions, the four middleware versions
+// of each algorithm, the three grids, and the text formatting of the
+// results. cmd/aiacbench and the root bench_test.go are thin wrappers over
+// this package.
+//
+// Absolute numbers are simulator outputs, not testbed measurements; the
+// claims under reproduction are the *shapes*: who wins, by what factor, and
+// where the curves cross (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"aiac/internal/aiac"
+	"aiac/internal/chem"
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+	"aiac/internal/env/madmpi"
+	"aiac/internal/env/mpi"
+	"aiac/internal/env/orb"
+	"aiac/internal/env/pm2"
+	"aiac/internal/gmres"
+	"aiac/internal/problems"
+	"aiac/internal/trace"
+)
+
+// Scale sets the experiment sizes. The paper's sizes (Table 1) are in
+// PaperScale; DefaultScale is reduced so the full suite runs in minutes on
+// one host while preserving the compute/communication ratios that drive
+// the results.
+type Scale struct {
+	// Sparse linear problem (Table 2, Figures 1-2).
+	SparseN        int
+	SparseDiags    int
+	SparseRho      float64
+	SparseEps      float64
+	SparseMaxIters int
+
+	// Non-linear chemical problem (Table 3, Figure 3).
+	ChemNX, ChemNZ int
+	ChemStepS      float64 // time step (s)
+	ChemHorizonS   float64 // simulated interval (s)
+	ChemEps        float64
+	GmresTol       float64
+
+	// Figure 3 sweep.
+	Fig3NX, Fig3NZ int
+	Fig3HorizonS   float64
+	Fig3Procs      []int
+
+	// Processors for Tables 2-3.
+	NProcs int
+
+	Seed int64
+}
+
+// DefaultScale runs the whole suite in minutes.
+func DefaultScale() Scale {
+	return Scale{
+		// 120k unknowns over 12 processors gives 10k-row blocks whose
+		// exchange messages (~80 KB) are firmly in the large-message
+		// regime of the middlewares, like the paper's 133k-row blocks.
+		// Fast processors spin many cheap iterations between data
+		// refreshes, hence the generous cap.
+		SparseN: 120000, SparseDiags: 30, SparseRho: 0.88, SparseEps: 1e-7,
+		SparseMaxIters: 1000000,
+		ChemNX:         48, ChemNZ: 48, ChemStepS: 180, ChemHorizonS: 540,
+		ChemEps: 1e-6, GmresTol: 1e-6,
+		Fig3NX: 50, Fig3NZ: 200, Fig3HorizonS: 180,
+		Fig3Procs: []int{10, 15, 20, 25, 30, 35, 40},
+		NProcs:    12,
+		Seed:      20040426, // IPPS 2004
+	}
+}
+
+// PaperScale is Table 1 verbatim (n = 2,000,000 with 30 sub-diagonals;
+// 600×600 grid over 2160 s in 180 s steps) with the Figure 3 grid of
+// 1000×1000. Expect hours of host time.
+func PaperScale() Scale {
+	s := DefaultScale()
+	s.SparseN = 2000000
+	s.ChemNX, s.ChemNZ = 600, 600
+	s.ChemHorizonS = 2160
+	s.Fig3NX, s.Fig3NZ = 1000, 1000
+	s.Fig3HorizonS = 360
+	s.NProcs = 15
+	return s
+}
+
+// Version is one (environment, mode) combination of the comparison.
+type Version struct {
+	Name string
+	Mode aiac.Mode
+	// MakeEnv builds the environment over a grid for a problem kind.
+	MakeEnv func(g *cluster.Grid, sparse bool, tr *trace.Collector) aiac.Env
+}
+
+// Versions returns the paper's four versions in table order.
+func Versions() []Version {
+	return []Version{
+		{Name: "sync MPI", Mode: aiac.Sync,
+			MakeEnv: func(g *cluster.Grid, _ bool, tr *trace.Collector) aiac.Env { return mpi.MustNew(g, tr) }},
+		{Name: "async PM2", Mode: aiac.Async,
+			MakeEnv: func(g *cluster.Grid, sp bool, tr *trace.Collector) aiac.Env { return pm2.MustNew(g, pm2Kind(sp), tr) }},
+		{Name: "async MPI/Mad", Mode: aiac.Async,
+			MakeEnv: func(g *cluster.Grid, sp bool, tr *trace.Collector) aiac.Env {
+				return madmpi.MustNew(g, madKind(sp), tr)
+			}},
+		{Name: "async OmniOrb 4", Mode: aiac.Async,
+			MakeEnv: func(g *cluster.Grid, sp bool, tr *trace.Collector) aiac.Env { return orb.MustNew(g, orbKind(sp), tr) }},
+	}
+}
+
+func pm2Kind(sparse bool) pm2.Kind {
+	if sparse {
+		return pm2.Sparse
+	}
+	return pm2.NonLinear
+}
+func madKind(sparse bool) madmpi.Kind {
+	if sparse {
+		return madmpi.Sparse
+	}
+	return madmpi.NonLinear
+}
+func orbKind(sparse bool) orb.Kind {
+	if sparse {
+		return orb.Sparse
+	}
+	return orb.NonLinear
+}
+
+// Row is one result line of Tables 2-3.
+type Row struct {
+	Cluster   string
+	Version   string
+	Time      des.Time
+	Ratio     float64 // sync time / this time (the paper's "speed ratio")
+	Iters     int
+	Converged bool
+}
+
+// Table2 reproduces the sparse linear problem comparison on the 3-site
+// Ethernet grid (paper Table 2).
+func Table2(s Scale) []Row {
+	var rows []Row
+	var syncTime des.Time
+	for _, v := range Versions() {
+		sim := des.New()
+		grid := cluster.ThreeSiteEthernet(sim, s.NProcs)
+		env := v.MakeEnv(grid, true, nil)
+		prob := problems.NewLinear(s.SparseN, s.SparseDiags, s.SparseRho, s.Seed)
+		rep := aiac.Run(grid, env, prob, aiac.Config{Mode: v.Mode, Eps: s.SparseEps, MaxIters: s.SparseMaxIters})
+		if v.Mode == aiac.Sync {
+			syncTime = rep.Elapsed
+		}
+		rows = append(rows, Row{
+			Cluster: "Ethernet", Version: v.Name, Time: rep.Elapsed,
+			Iters: rep.TotalIters(), Converged: rep.Reason == aiac.StopConverged,
+		})
+	}
+	fillRatios(rows, syncTime)
+	return rows
+}
+
+// Table3 reproduces the non-linear problem comparison on the Ethernet grid
+// and on the Ethernet+ADSL grid (paper Table 3).
+func Table3(s Scale) []Row {
+	var rows []Row
+	grids := []struct {
+		name string
+		mk   func(sim *des.Simulator, n int) *cluster.Grid
+	}{
+		{"Ethernet", cluster.ThreeSiteEthernet},
+		{"Ethernet and ADSL", cluster.FourSiteADSL},
+	}
+	for _, g := range grids {
+		var syncTime des.Time
+		var block []Row
+		for _, v := range Versions() {
+			sim := des.New()
+			grid := g.mk(sim, s.NProcs)
+			env := v.MakeEnv(grid, false, nil)
+			p := chem.New(s.ChemNX, s.ChemNZ)
+			run := runChemVersion(grid, env, p, v.Mode, s)
+			if v.Mode == aiac.Sync {
+				syncTime = run.Elapsed
+			}
+			block = append(block, Row{
+				Cluster: g.name, Version: v.Name, Time: run.Elapsed,
+				Iters: run.TotalIters(), Converged: run.AllConverged(),
+			})
+		}
+		fillRatios(block, syncTime)
+		rows = append(rows, block...)
+	}
+	return rows
+}
+
+// runChemVersion runs the non-linear problem with the algorithm each
+// version actually uses: the synchronous baseline is the classical global
+// Newton with distributed GMRES (the paper's strategy 1, whose inner
+// iterations synchronise the whole machine set), the asynchronous versions
+// use AIAC multisplitting Newton (strategy 2).
+func runChemVersion(grid *cluster.Grid, env aiac.Env, p *chem.Problem, mode aiac.Mode, s Scale) *problems.ChemRun {
+	gp := gmres.Params{Tol: s.GmresTol, Restart: 30}
+	if mode == aiac.Sync {
+		return problems.RunChemSyncGlobal(grid, env, p, p.InitialState(), s.ChemStepS, s.ChemHorizonS, gp, s.ChemEps, 50)
+	}
+	return problems.RunChem(grid, env, p, p.InitialState(), s.ChemStepS, s.ChemHorizonS, gp,
+		aiac.Config{Mode: aiac.Async, Eps: s.ChemEps})
+}
+
+func fillRatios(rows []Row, syncTime des.Time) {
+	for i := range rows {
+		if rows[i].Time > 0 {
+			rows[i].Ratio = float64(syncTime) / float64(rows[i].Time)
+		}
+	}
+}
+
+// Table4 reports the per-environment thread configurations (paper Table 4).
+func Table4() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: differences between the implementations\n\n")
+	for _, problem := range []struct {
+		title  string
+		sparse bool
+	}{{"Sparse linear problem", true}, {"Non-linear problem", false}} {
+		fmt.Fprintf(&b, "%s\n", problem.title)
+		sim := des.New()
+		grid := cluster.LocalHeterogeneous(sim, 3)
+		for _, v := range Versions()[1:] { // async versions only
+			env := v.MakeEnv(grid, problem.sparse, nil)
+			fmt.Fprintf(&b, "  %-16s %s\n", env.Name(), env.ThreadPolicy())
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// Point is one sample of a Figure 3 series.
+type Point struct {
+	Procs int
+	Time  des.Time
+}
+
+// Figure3 reproduces the scalability experiment: execution time versus
+// number of processors on the local heterogeneous cluster, four series.
+func Figure3(s Scale) map[string][]Point {
+	out := make(map[string][]Point)
+	for _, v := range Versions() {
+		for _, n := range s.Fig3Procs {
+			sim := des.New()
+			grid := cluster.LocalHeterogeneous(sim, n)
+			env := v.MakeEnv(grid, false, nil)
+			p := chem.New(s.Fig3NX, s.Fig3NZ)
+			fs := s
+			fs.ChemHorizonS = s.Fig3HorizonS
+			run := runChemVersion(grid, env, p, v.Mode, fs)
+			out[v.Name] = append(out[v.Name], Point{Procs: n, Time: run.Elapsed})
+		}
+	}
+	return out
+}
+
+// Figures12 reproduces the execution-flow figures: the SISC trace with idle
+// gaps (Figure 1) and the AIAC trace without (Figure 2), both on two
+// processors.
+func Figures12(s Scale) (sisc, aiacTr *trace.Collector) {
+	n := s.SparseN / 8
+	if n < 500 {
+		n = 500
+	}
+	run := func(mode aiac.Mode) *trace.Collector {
+		tr := trace.New()
+		sim := des.New()
+		grid := cluster.ThreeSiteEthernet(sim, 2)
+		var env aiac.Env
+		if mode == aiac.Sync {
+			env = mpi.MustNew(grid, tr)
+		} else {
+			env = pm2.MustNew(grid, pm2.Sparse, tr)
+		}
+		prob := problems.NewLinear(n, s.SparseDiags, s.SparseRho, s.Seed)
+		aiac.Run(grid, env, prob, aiac.Config{Mode: mode, Eps: s.SparseEps, Trace: tr})
+		return tr
+	}
+	return run(aiac.Sync), run(aiac.Async)
+}
+
+// FormatRows renders Table 2/3 rows in the paper's layout.
+func FormatRows(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", title)
+	fmt.Fprintf(&b, "%-18s %-16s %12s %8s %10s %10s\n", "Cluster", "Version", "Time", "Ratio", "Iters", "Converged")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-16s %12s %8.2f %10d %10v\n",
+			r.Cluster, r.Version, r.Time.Round(des.Time(1e6)), r.Ratio, r.Iters, r.Converged)
+	}
+	return b.String()
+}
+
+// FormatFigure3 renders the sweep as aligned series (one block per
+// version, in table order).
+func FormatFigure3(series map[string][]Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: execution times vs number of processors (local heterogeneous cluster)\n\n")
+	for _, v := range Versions() {
+		pts := series[v.Name]
+		fmt.Fprintf(&b, "%-16s", v.Name)
+		for _, p := range pts {
+			fmt.Fprintf(&b, " %4d:%-10s", p.Procs, p.Time.Round(des.Time(1e6)))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// Table1 renders the experiment parameters in the paper's layout.
+func Table1(s Scale) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: chosen parameters for each problem\n\n")
+	fmt.Fprintf(&b, "Sparse linear system\n")
+	fmt.Fprintf(&b, "  matrix size                      %d x %d\n", s.SparseN, s.SparseN)
+	fmt.Fprintf(&b, "  repartition of non-zero values   %d sub-diagonals\n", s.SparseDiags)
+	fmt.Fprintf(&b, "  spectral radius bound            %.2f\n\n", s.SparseRho)
+	fmt.Fprintf(&b, "Non-linear problem\n")
+	fmt.Fprintf(&b, "  discretization grid              %d x %d\n", s.ChemNX, s.ChemNZ)
+	fmt.Fprintf(&b, "  time interval                    %gs\n", s.ChemHorizonS)
+	fmt.Fprintf(&b, "  time step                        %gs\n", s.ChemStepS)
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Format(t *testing.T) {
+	out := Table1(DefaultScale())
+	for _, want := range []string{"matrix size", "sub-diagonals", "discretization grid", "time step"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4ListsAllAsyncEnvironments(t *testing.T) {
+	out := Table4()
+	for _, env := range []string{"pm2", "mpi/mad", "omniorb4"} {
+		if strings.Count(out, env) != 2 { // once per problem
+			t.Fatalf("Table 4 should list %s twice:\n%s", env, out)
+		}
+	}
+}
+
+func TestVersionsOrder(t *testing.T) {
+	vs := Versions()
+	if len(vs) != 4 || vs[0].Name != "sync MPI" || vs[3].Name != "async OmniOrb 4" {
+		t.Fatalf("unexpected versions: %+v", vs)
+	}
+}
+
+func TestPaperScaleIsTable1(t *testing.T) {
+	s := PaperScale()
+	if s.SparseN != 2000000 || s.ChemNX != 600 || s.ChemNZ != 600 ||
+		s.ChemHorizonS != 2160 || s.ChemStepS != 180 {
+		t.Fatalf("PaperScale does not match Table 1: %+v", s)
+	}
+}
+
+// TestFigures12Shapes verifies the load-bearing contrast of Figures 1-2:
+// the SISC trace has substantial idle time, the AIAC trace essentially none.
+func TestFigures12Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	sisc, asyncTr := Figures12(DefaultScale())
+	if idle := sisc.MeanIdleFraction(); idle < 0.2 {
+		t.Fatalf("SISC idle fraction = %v, want substantial idle (Figure 1)", idle)
+	}
+	if idle := asyncTr.MeanIdleFraction(); idle > 0.01 {
+		t.Fatalf("AIAC idle fraction = %v, want ~0 (Figure 2)", idle)
+	}
+	if len(sisc.Msgs) == 0 || len(asyncTr.Msgs) == 0 {
+		t.Fatal("traces recorded no messages")
+	}
+}
+
+// TestTable3Shapes runs the non-linear comparison at a reduced scale and
+// asserts the paper's orderings: async beats sync on both grids, and the
+// ADSL grid's speed ratios exceed the Ethernet grid's.
+func TestTable3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := DefaultScale()
+	s.ChemHorizonS = 360 // two steps keep the test quick
+	rows := Table3(s)
+	if len(rows) != 8 {
+		t.Fatalf("want 8 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Converged {
+			t.Fatalf("row did not converge: %+v", r)
+		}
+	}
+	// rows[0..3] Ethernet, rows[4..7] ADSL; index 0/4 = sync.
+	for _, base := range []int{0, 4} {
+		for i := base + 1; i < base+4; i++ {
+			if rows[i].Time >= rows[base].Time {
+				t.Fatalf("async version not faster than sync: %+v vs %+v", rows[i], rows[base])
+			}
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package chem implements the paper's second test problem (§4.2): the
+// evolution of two chemical species in a 2-D domain under advection,
+// diffusion and diurnal reaction kinetics,
+//
+//	∂ci/∂t = Kh ∂²ci/∂x² + V ∂ci/∂x + ∂/∂z (Kv(z) ∂ci/∂z) + Ri(c1,c2,t)
+//
+// with the constants of the paper (Kh = 4.0e-6, V = 1e-3, Kv(z) = 1e-8
+// e^{z/5}, c3 = 3.7e16, q1 = 1.63e-16, q2 = 4.66e-16, diurnal q3, q4).
+// This is the classic diurnal-kinetics problem. Two apparent typos in the
+// paper's formulas are corrected to the standard form of the problem:
+// β(z) mixes (0.1z−1) and (0.1z−4) terms — we use
+// β(z) = 1 − (0.1z−4)² + (0.1z−4)⁴/2 over z ∈ [30,50] (x ∈ [0,20]), keeping
+// both profile factors in [0,1]; and R2's q4 term is a sink (−q4·c2, the
+// photolysis of c2 back into c1) — the paper prints +q4·c2, under which the
+// total mass would grow without bound. Both substitutions are recorded in
+// DESIGN.md.
+//
+// Space is discretised by central finite differences on an nx×nz grid and
+// time by implicit Euler; each time step is solved by Newton's method whose
+// linear systems go to GMRES (§4.2). The multisplitting decomposition cuts
+// the domain into horizontal strips of grid rows (package newton).
+package chem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants of the problem (paper §4.2).
+const (
+	Kh    = 4.0e-6
+	V     = 1e-3
+	Kv0   = 1e-8
+	C3    = 3.7e16
+	Q1    = 1.63e-16
+	Q2    = 4.66e-16
+	A3    = 22.62
+	A4    = 7.601
+	Omega = math.Pi / 43200
+)
+
+// Domain bounds.
+const (
+	XMin, XMax = 0.0, 20.0
+	ZMin, ZMax = 30.0, 50.0
+)
+
+// Problem is the discretised two-species system on an nx×nz grid.
+// The state vector y has length 2*nx*nz, ordered species-major per point:
+// y[2*(iz*nx+ix)] = c1 at (ix,iz), y[2*(iz*nx+ix)+1] = c2.
+type Problem struct {
+	NX, NZ int
+	dx, dz float64
+	xs, zs []float64 // coordinates
+	kvHalf []float64 // Kv at half-levels z_{j+1/2}, j = -1..nz-1
+}
+
+// New builds the problem on an nx×nz grid (nx, nz >= 3).
+func New(nx, nz int) *Problem {
+	if nx < 3 || nz < 3 {
+		panic(fmt.Sprintf("chem: grid too small %dx%d", nx, nz))
+	}
+	p := &Problem{NX: nx, NZ: nz}
+	p.dx = (XMax - XMin) / float64(nx-1)
+	p.dz = (ZMax - ZMin) / float64(nz-1)
+	p.xs = make([]float64, nx)
+	for i := range p.xs {
+		p.xs[i] = XMin + float64(i)*p.dx
+	}
+	p.zs = make([]float64, nz)
+	for j := range p.zs {
+		p.zs[j] = ZMin + float64(j)*p.dz
+	}
+	p.kvHalf = make([]float64, nz+1)
+	for j := 0; j <= nz; j++ {
+		zh := ZMin + (float64(j)-0.5)*p.dz
+		p.kvHalf[j] = Kv0 * math.Exp(zh/5)
+	}
+	return p
+}
+
+// N returns the state vector length 2*nx*nz.
+func (p *Problem) N() int { return 2 * p.NX * p.NZ }
+
+// idx returns the state index of species s (0 or 1) at grid point (ix,iz).
+func (p *Problem) idx(ix, iz, s int) int { return 2*(iz*p.NX+ix) + s }
+
+// alpha is the initial horizontal profile (paper Equ. 10).
+func alpha(x float64) float64 {
+	t := 0.1*x - 1
+	return 1 - t*t + t*t*t*t/2
+}
+
+// beta is the vertical profile, standard diurnal-kinetics form (see package
+// comment for the typo note).
+func beta(z float64) float64 {
+	t := 0.1*z - 4
+	return 1 - t*t + t*t*t*t/2
+}
+
+// InitialState returns y(0): c1 = 1e6 α(x)β(z), c2 = 1e12 α(x)β(z)
+// (paper Equ. 9).
+func (p *Problem) InitialState() []float64 {
+	y := make([]float64, p.N())
+	for iz := 0; iz < p.NZ; iz++ {
+		bz := beta(p.zs[iz])
+		for ix := 0; ix < p.NX; ix++ {
+			ab := alpha(p.xs[ix]) * bz
+			y[p.idx(ix, iz, 0)] = 1e6 * ab
+			y[p.idx(ix, iz, 1)] = 1e12 * ab
+		}
+	}
+	return y
+}
+
+// Rates returns the diurnal photolysis rates q3(t), q4(t).
+func Rates(t float64) (q3, q4 float64) {
+	s := math.Sin(Omega * t)
+	if s <= 0 {
+		return 0, 0
+	}
+	return math.Exp(-A3 / s), math.Exp(-A4 / s)
+}
+
+// react evaluates R1, R2 at one point (paper Equ. 8).
+func react(c1, c2, q3, q4 float64) (r1, r2 float64) {
+	r1 = -Q1*c1*C3 - Q2*c1*c2 + 2*q3*C3 + q4*c2
+	r2 = Q1*c1*C3 - Q2*c1*c2 - q4*c2
+	return
+}
+
+// reactJac returns the 2x2 Jacobian of (R1,R2) wrt (c1,c2).
+func reactJac(c1, c2, q4 float64) (j11, j12, j21, j22 float64) {
+	j11 = -Q1*C3 - Q2*c2
+	j12 = -Q2*c1 + q4
+	j21 = Q1*C3 - Q2*c2
+	j22 = -Q2*c1 - q4
+	return
+}
+
+// FlopsPerPointF is the approximate flop cost of evaluating f at one grid
+// point (stencil + reaction for both species).
+const FlopsPerPointF = 60
+
+// F evaluates dst = f(y, t) for grid rows iz in [zlo, zhi), reading
+// neighbour rows zlo-1 and zhi from y (ghost data under decomposition).
+// Boundary conditions are zero-flux (Neumann), implemented by mirroring.
+// dst is indexed globally like y; only rows [zlo,zhi) are written.
+func (p *Problem) F(dst, y []float64, t float64, zlo, zhi int) {
+	q3, q4 := Rates(t)
+	cdx2 := Kh / (p.dx * p.dx)
+	cdx := V / (2 * p.dx)
+	cdz2 := 1 / (p.dz * p.dz)
+	for iz := zlo; iz < zhi; iz++ {
+		up, down := iz+1, iz-1
+		if up >= p.NZ {
+			up = iz - 1
+		}
+		if down < 0 {
+			down = iz + 1
+		}
+		kvU := p.kvHalf[iz+1]
+		kvD := p.kvHalf[iz]
+		for ix := 0; ix < p.NX; ix++ {
+			left, right := ix-1, ix+1
+			if left < 0 {
+				left = ix + 1
+			}
+			if right >= p.NX {
+				right = ix - 1
+			}
+			for s := 0; s < 2; s++ {
+				c := y[p.idx(ix, iz, s)]
+				cl := y[p.idx(left, iz, s)]
+				cr := y[p.idx(right, iz, s)]
+				cu := y[p.idx(ix, up, s)]
+				cd := y[p.idx(ix, down, s)]
+				adv := cdx * (cr - cl)
+				diffx := cdx2 * (cr - 2*c + cl)
+				diffz := cdz2 * (kvU*(cu-c) - kvD*(c-cd))
+				dst[p.idx(ix, iz, s)] = diffx + adv + diffz
+			}
+			c1 := y[p.idx(ix, iz, 0)]
+			c2 := y[p.idx(ix, iz, 1)]
+			r1, r2 := react(c1, c2, q3, q4)
+			dst[p.idx(ix, iz, 0)] += r1
+			dst[p.idx(ix, iz, 1)] += r2
+		}
+	}
+}
+
+// JacVec applies dst = (∂f/∂y · v) for rows [zlo,zhi) at state y, time t.
+// Ghost rows of v outside [zlo,zhi) are read from v as given (callers zero
+// them for strip-local Jacobians, or fill them for the global operator).
+// Only rows [zlo,zhi) of dst are written.
+func (p *Problem) JacVec(dst, v, y []float64, t float64, zlo, zhi int) {
+	_, q4 := Rates(t)
+	cdx2 := Kh / (p.dx * p.dx)
+	cdx := V / (2 * p.dx)
+	cdz2 := 1 / (p.dz * p.dz)
+	for iz := zlo; iz < zhi; iz++ {
+		up, down := iz+1, iz-1
+		if up >= p.NZ {
+			up = iz - 1
+		}
+		if down < 0 {
+			down = iz + 1
+		}
+		kvU := p.kvHalf[iz+1]
+		kvD := p.kvHalf[iz]
+		for ix := 0; ix < p.NX; ix++ {
+			left, right := ix-1, ix+1
+			if left < 0 {
+				left = ix + 1
+			}
+			if right >= p.NX {
+				right = ix - 1
+			}
+			for s := 0; s < 2; s++ {
+				c := v[p.idx(ix, iz, s)]
+				cl := v[p.idx(left, iz, s)]
+				cr := v[p.idx(right, iz, s)]
+				cu := v[p.idx(ix, up, s)]
+				cd := v[p.idx(ix, down, s)]
+				adv := cdx * (cr - cl)
+				diffx := cdx2 * (cr - 2*c + cl)
+				diffz := cdz2 * (kvU*(cu-c) - kvD*(c-cd))
+				dst[p.idx(ix, iz, s)] = diffx + adv + diffz
+			}
+			c1 := y[p.idx(ix, iz, 0)]
+			c2 := y[p.idx(ix, iz, 1)]
+			j11, j12, j21, j22 := reactJac(c1, c2, q4)
+			v1 := v[p.idx(ix, iz, 0)]
+			v2 := v[p.idx(ix, iz, 1)]
+			dst[p.idx(ix, iz, 0)] += j11*v1 + j12*v2
+			dst[p.idx(ix, iz, 1)] += j21*v1 + j22*v2
+		}
+	}
+}
+
+// RowSegment returns the state-vector interval covered by grid rows
+// [zlo,zhi).
+func (p *Problem) RowSegment(zlo, zhi int) (lo, hi int) {
+	return 2 * zlo * p.NX, 2 * zhi * p.NX
+}
+
+// StripPartition splits nz grid rows into nparts horizontal strips (the
+// paper's vertical decomposition of the 2-D domain into strips, §4.3) and
+// returns the nparts+1 row boundaries.
+func StripPartition(nz, nparts int) []int {
+	if nparts < 1 || nz < nparts {
+		panic(fmt.Sprintf("chem: cannot split %d rows into %d strips", nz, nparts))
+	}
+	b := make([]int, nparts+1)
+	for i := 0; i <= nparts; i++ {
+		b[i] = i * nz / nparts
+	}
+	return b
+}
+
+// TotalMass returns the sums of c1 and c2 over the grid — a cheap physical
+// diagnostic for tests and examples.
+func (p *Problem) TotalMass(y []float64) (m1, m2 float64) {
+	for iz := 0; iz < p.NZ; iz++ {
+		for ix := 0; ix < p.NX; ix++ {
+			m1 += y[p.idx(ix, iz, 0)]
+			m2 += y[p.idx(ix, iz, 1)]
+		}
+	}
+	return
+}
+
+// MinConcentration returns the smallest value in y (physically should stay
+// close to non-negative).
+func MinConcentration(y []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range y {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,296 @@
+package chem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialStateProfiles(t *testing.T) {
+	p := New(21, 21)
+	y := p.InitialState()
+	// Mid-domain point has the peak profile alpha=beta=1.
+	midX, midZ := 10, 10
+	c1 := y[p.idx(midX, midZ, 0)]
+	c2 := y[p.idx(midX, midZ, 1)]
+	if math.Abs(c1-1e6) > 1 || math.Abs(c2-1e12) > 1e6 {
+		t.Fatalf("centre concentrations (%v,%v), want (1e6,1e12)", c1, c2)
+	}
+	// Corners have alpha=beta=0.5 => product 0.25.
+	cc := y[p.idx(0, 0, 0)]
+	if math.Abs(cc-0.25e6) > 1 {
+		t.Fatalf("corner c1 = %v, want 2.5e5", cc)
+	}
+	for _, v := range y {
+		if v < 0 {
+			t.Fatal("negative initial concentration")
+		}
+	}
+}
+
+func TestRatesDiurnalCycle(t *testing.T) {
+	// Night: sin(omega t) <= 0 => rates are zero. omega = pi/43200, so
+	// t in (43200, 86400) is night.
+	if q3, q4 := Rates(50000); q3 != 0 || q4 != 0 {
+		t.Fatalf("night rates nonzero: %v %v", q3, q4)
+	}
+	// Noon (t = 21600): sin = 1, rates at maximum.
+	q3n, q4n := Rates(21600)
+	if q3n <= 0 || q4n <= 0 {
+		t.Fatal("noon rates should be positive")
+	}
+	q3m, q4m := Rates(10000)
+	if q3m >= q3n || q4m >= q4n {
+		t.Fatal("morning rates should be below noon rates")
+	}
+}
+
+func TestFZeroForUniformFieldAtNight(t *testing.T) {
+	// With spatially uniform concentrations, diffusion and advection
+	// vanish; at night the only nonzero reaction terms are the
+	// q1/q2 ones. Check the transport part alone by using species with
+	// zero reaction: set c1=c2=0 except uniform -> f = R(0,0) = 0.
+	p := New(11, 11)
+	y := make([]float64, p.N())
+	dst := make([]float64, p.N())
+	p.F(dst, y, 50000, 0, p.NZ) // night, all zero
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("f[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFUniformFieldHasNoTransport(t *testing.T) {
+	p := New(11, 11)
+	y := make([]float64, p.N())
+	for i := range y {
+		if i%2 == 0 {
+			y[i] = 5e5
+		} else {
+			y[i] = 3e11
+		}
+	}
+	dst := make([]float64, p.N())
+	p.F(dst, y, 50000, 0, p.NZ) // night
+	q3, q4 := Rates(50000.0)
+	wantR1, wantR2 := react(5e5, 3e11, q3, q4)
+	for iz := 0; iz < p.NZ; iz++ {
+		for ix := 0; ix < p.NX; ix++ {
+			g1 := dst[p.idx(ix, iz, 0)]
+			g2 := dst[p.idx(ix, iz, 1)]
+			if math.Abs(g1-wantR1) > math.Abs(wantR1)*1e-12+1e-9 ||
+				math.Abs(g2-wantR2) > math.Abs(wantR2)*1e-12+1e-9 {
+				t.Fatalf("(%d,%d): transport leaked into uniform field: %v %v want %v %v",
+					ix, iz, g1, g2, wantR1, wantR2)
+			}
+		}
+	}
+}
+
+// JacVec must match finite differences of F.
+func TestJacVecMatchesFiniteDifference(t *testing.T) {
+	p := New(9, 9)
+	y := p.InitialState()
+	n := p.N()
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(float64(i)) * (1 + float64(i%5))
+	}
+	// Scale v to the magnitude of y so the directional derivative is
+	// well-conditioned.
+	for i := range v {
+		v[i] *= 1e4
+	}
+	const tt = 21600.0
+	jv := make([]float64, n)
+	p.JacVec(jv, v, y, tt, 0, p.NZ)
+
+	eps := 1e-4
+	yp := make([]float64, n)
+	ym := make([]float64, n)
+	fp := make([]float64, n)
+	fm := make([]float64, n)
+	for i := range y {
+		yp[i] = y[i] + eps*v[i]
+		ym[i] = y[i] - eps*v[i]
+	}
+	p.F(fp, yp, tt, 0, p.NZ)
+	p.F(fm, ym, tt, 0, p.NZ)
+	for i := 0; i < n; i++ {
+		fd := (fp[i] - fm[i]) / (2 * eps)
+		scale := math.Abs(fd) + math.Abs(jv[i]) + 1
+		if math.Abs(fd-jv[i])/scale > 1e-5 {
+			t.Fatalf("jacvec[%d] = %v, fd = %v", i, jv[i], fd)
+		}
+	}
+}
+
+// Strip-restricted F must agree with full-domain F on interior strips when
+// ghost rows are present in y.
+func TestStripFMatchesFull(t *testing.T) {
+	p := New(9, 12)
+	y := p.InitialState()
+	full := make([]float64, p.N())
+	p.F(full, y, 21600, 0, p.NZ)
+	part := make([]float64, p.N())
+	for _, strip := range [][2]int{{0, 4}, {4, 8}, {8, 12}} {
+		p.F(part, y, 21600, strip[0], strip[1])
+		lo, hi := p.RowSegment(strip[0], strip[1])
+		for i := lo; i < hi; i++ {
+			if part[i] != full[i] {
+				t.Fatalf("strip %v idx %d: %v vs %v", strip, i, part[i], full[i])
+			}
+		}
+	}
+}
+
+func TestStripPartition(t *testing.T) {
+	b := StripPartition(100, 7)
+	if b[0] != 0 || b[7] != 100 {
+		t.Fatalf("bounds = %v", b)
+	}
+	f := func(rawN, rawP uint8) bool {
+		nz := int(rawN)%200 + 1
+		np := int(rawP)%nz + 1
+		bb := StripPartition(nz, np)
+		for i := 1; i < len(bb); i++ {
+			if bb[i] < bb[i-1] {
+				return false
+			}
+		}
+		return bb[0] == 0 && bb[np] == nz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowSegment(t *testing.T) {
+	p := New(10, 8)
+	lo, hi := p.RowSegment(2, 5)
+	if lo != 2*2*10 || hi != 2*5*10 {
+		t.Fatalf("segment = [%d,%d)", lo, hi)
+	}
+}
+
+func TestTotalMass(t *testing.T) {
+	p := New(5, 5)
+	y := make([]float64, p.N())
+	for i := range y {
+		y[i] = 1
+	}
+	m1, m2 := p.TotalMass(y)
+	if m1 != 25 || m2 != 25 {
+		t.Fatalf("mass = %v %v", m1, m2)
+	}
+}
+
+func TestMinConcentration(t *testing.T) {
+	if MinConcentration([]float64{3, -2, 5}) != -2 {
+		t.Fatal("min wrong")
+	}
+}
+
+func TestTooSmallGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for tiny grid")
+		}
+	}()
+	New(2, 5)
+}
+
+func TestEulerSystemAlignment(t *testing.T) {
+	p := New(6, 6)
+	sys := NewEulerSystem(p, p.InitialState(), 180, 180)
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned range did not panic")
+		}
+	}()
+	dst := make([]float64, p.N())
+	sys.EvalG(dst, p.InitialState(), 3, 15)
+}
+
+func TestEulerSystemGAtSolution(t *testing.T) {
+	// If y solves y = yOld + h f(y), G(y) ~ 0. We can't easily construct
+	// such y, but G(yOld) = -h f(yOld), which we can verify directly.
+	p := New(7, 7)
+	y0 := p.InitialState()
+	const h, tEnd = 180.0, 180.0
+	sys := NewEulerSystem(p, y0, h, tEnd)
+	g := make([]float64, p.N())
+	sys.EvalG(g, y0, 0, p.N())
+	f := make([]float64, p.N())
+	p.F(f, y0, tEnd, 0, p.NZ)
+	for i := range g {
+		want := -h * f[i]
+		if math.Abs(g[i]-want) > math.Abs(want)*1e-12+1e-9 {
+			t.Fatalf("G(yOld)[%d] = %v, want %v", i, g[i], want)
+		}
+	}
+}
+
+// Property: the initial-condition profiles stay within [0,1] over the
+// domain, as the corrected formulas intend.
+func TestProfilesBounded(t *testing.T) {
+	f := func(raw uint16) bool {
+		x := XMin + (XMax-XMin)*float64(raw)/65535
+		z := ZMin + (ZMax-ZMin)*float64(raw)/65535
+		a, b := alpha(x), beta(z)
+		return a >= 0 && a <= 1+1e-12 && b >= 0 && b <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: photolysis rates are non-negative, bounded by their daylight
+// maxima, and zero at night.
+func TestRatesBounded(t *testing.T) {
+	q3max, q4max := Rates(21600) // noon
+	f := func(raw uint32) bool {
+		tt := float64(raw % 86400)
+		q3, q4 := Rates(tt)
+		if q3 < 0 || q4 < 0 {
+			return false
+		}
+		return q3 <= q3max+1e-300 && q4 <= q4max+1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Jacobian of the reaction terms must match finite differences at
+// physically representative concentrations.
+func TestReactJacMatchesFD(t *testing.T) {
+	c1, c2 := 1e6, 1e12
+	_, q4 := Rates(21600.0)
+	q3, _ := Rates(21600.0)
+	j11, j12, j21, j22 := reactJac(c1, c2, q4)
+	const rel = 1e-6
+	e1, e2 := c1*rel, c2*rel
+	r1p, r2p := react(c1+e1, c2, q3, q4)
+	r1m, r2m := react(c1-e1, c2, q3, q4)
+	if fd := (r1p - r1m) / (2 * e1); !close(fd, j11) {
+		t.Fatalf("j11 = %v, fd = %v", j11, fd)
+	}
+	if fd := (r2p - r2m) / (2 * e1); !close(fd, j21) {
+		t.Fatalf("j21 = %v, fd = %v", j21, fd)
+	}
+	r1p, r2p = react(c1, c2+e2, q3, q4)
+	r1m, r2m = react(c1, c2-e2, q3, q4)
+	if fd := (r1p - r1m) / (2 * e2); !close(fd, j12) {
+		t.Fatalf("j12 = %v, fd = %v", j12, fd)
+	}
+	if fd := (r2p - r2m) / (2 * e2); !close(fd, j22) {
+		t.Fatalf("j22 = %v, fd = %v", j22, fd)
+	}
+}
+
+func close(a, b float64) bool {
+	scale := math.Abs(a) + math.Abs(b) + 1e-30
+	return math.Abs(a-b)/scale < 1e-4
+}

@@ -1,0 +1,69 @@
+package chem
+
+import "fmt"
+
+// EulerSystem is the nonlinear system of one implicit-Euler time step
+// (paper Equ. 12):
+//
+//	G(y) = y − yOld − h·f(y, t+h) = 0
+//
+// It implements newton.LocalSystem over state-index ranges aligned to grid
+// rows, so the multisplitting strips of §4.3 map directly onto it.
+type EulerSystem struct {
+	P    *Problem
+	YOld []float64
+	H    float64 // time step
+	T    float64 // time at the *end* of the step (t+h)
+
+	fbuf []float64
+}
+
+// NewEulerSystem returns the step system for advancing yOld by h to time
+// tEnd = t+h.
+func NewEulerSystem(p *Problem, yOld []float64, h, tEnd float64) *EulerSystem {
+	if len(yOld) != p.N() {
+		panic("chem: yOld dimension mismatch")
+	}
+	return &EulerSystem{P: p, YOld: yOld, H: h, T: tEnd, fbuf: make([]float64, p.N())}
+}
+
+// Dim returns the state dimension.
+func (e *EulerSystem) Dim() int { return e.P.N() }
+
+// rowsOf converts a state-index range to grid-row range, enforcing row
+// alignment (strips are whole grid rows).
+func (e *EulerSystem) rowsOf(lo, hi int) (zlo, zhi int) {
+	w := 2 * e.P.NX
+	if lo%w != 0 || hi%w != 0 {
+		panic(fmt.Sprintf("chem: range [%d,%d) not aligned to grid rows (width %d)", lo, hi, w))
+	}
+	return lo / w, hi / w
+}
+
+// EvalG writes G(y) on [lo,hi).
+func (e *EulerSystem) EvalG(dst, y []float64, lo, hi int) {
+	zlo, zhi := e.rowsOf(lo, hi)
+	e.P.F(e.fbuf, y, e.T, zlo, zhi)
+	for i := lo; i < hi; i++ {
+		dst[i] = y[i] - e.YOld[i] - e.H*e.fbuf[i]
+	}
+}
+
+// ApplyJ writes (I − h·∂f/∂y)·v on [lo,hi).
+func (e *EulerSystem) ApplyJ(dst, v, y []float64, lo, hi int) {
+	zlo, zhi := e.rowsOf(lo, hi)
+	e.P.JacVec(e.fbuf, v, y, e.T, zlo, zhi)
+	for i := lo; i < hi; i++ {
+		dst[i] = v[i] - e.H*e.fbuf[i]
+	}
+}
+
+// GFlops estimates the cost of one EvalG over [lo,hi).
+func (e *EulerSystem) GFlops(lo, hi int) float64 {
+	return float64(hi-lo)/2*FlopsPerPointF + 3*float64(hi-lo)
+}
+
+// JFlops estimates the cost of one ApplyJ over [lo,hi).
+func (e *EulerSystem) JFlops(lo, hi int) float64 {
+	return float64(hi-lo)/2*FlopsPerPointF + 2*float64(hi-lo)
+}

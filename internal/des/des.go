@@ -1,0 +1,228 @@
+// Package des implements a deterministic discrete-event simulator.
+//
+// A Simulator advances a virtual clock by executing events in
+// (timestamp, insertion-order) order. Simulated activities run as
+// goroutine-backed processes (Proc) that block and resume under the
+// simulator's control, so at most one process executes at any instant and a
+// given program produces the same event order on every run.
+//
+// The rest of the repository builds on this kernel: the network model
+// schedules message deliveries as events, the CPU model charges compute time
+// by putting processes to sleep, and the AIAC engine's iteration loops are
+// processes.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since simulation start.
+type Time = time.Duration
+
+// event is a scheduled callback. Events with equal timestamps execute in
+// insertion order (seq), which is what makes the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Simulator owns the virtual clock and the event queue.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	nextPID int
+	running *Proc
+	yielded chan struct{}
+	failure any // first panic recovered from a process
+	events  uint64
+	procs   int // live (not yet finished) processes
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Events returns the number of events executed so far.
+func (s *Simulator) Events() uint64 { return s.events }
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (s *Simulator) LiveProcs() int { return s.procs }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past is an
+// error and panics: it would silently reorder causality.
+func (s *Simulator) Schedule(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After runs fn d from now. A negative d panics.
+func (s *Simulator) After(d Time, fn func()) { s.Schedule(s.now+d, fn) }
+
+// Spawn starts a new process running body. The process begins executing at
+// the current virtual time, after any already-queued same-time events.
+func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
+	s.nextPID++
+	p := &Proc{
+		sim:    s,
+		id:     s.nextPID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	s.procs++
+	go func() {
+		<-p.resume // wait for first activation
+		defer func() {
+			if r := recover(); r != nil {
+				p.sim.failure = fmt.Sprintf("des: process %q panicked: %v", p.name, r)
+			}
+			p.done = true
+			p.sim.procs--
+			p.sim.yielded <- struct{}{}
+		}()
+		body(p)
+	}()
+	s.Schedule(s.now, func() { s.activate(p) })
+	return p
+}
+
+// activate hands control to p until it yields (sleeps, blocks, or finishes).
+// Must be called from the scheduler context.
+func (s *Simulator) activate(p *Proc) {
+	if p.done {
+		return
+	}
+	s.running = p
+	p.resume <- struct{}{}
+	<-s.yielded
+	s.running = nil
+	if s.failure != nil {
+		panic(s.failure)
+	}
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (s *Simulator) Run() Time {
+	for len(s.queue) > 0 {
+		s.step()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline, leaves the clock at
+// min(deadline, last event time), and reports whether the queue drained.
+func (s *Simulator) RunUntil(deadline Time) bool {
+	for len(s.queue) > 0 && s.queue.peek().at <= deadline {
+		s.step()
+	}
+	return len(s.queue) == 0
+}
+
+func (s *Simulator) step() {
+	e := heap.Pop(&s.queue).(*event)
+	if e.at < s.now {
+		panic("des: time went backwards")
+	}
+	s.now = e.at
+	s.events++
+	e.fn()
+}
+
+// Proc is a simulated process. All methods must be called from within the
+// process's own body function (they yield control to the scheduler), except
+// where noted.
+type Proc struct {
+	sim    *Simulator
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+
+	// recvSlot carries a value handed directly to a process that was
+	// blocked in Chan.Recv when a sender arrived.
+	recvSlot any
+	hasSlot  bool
+}
+
+// ID returns the process id (1-based, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// yield returns control to the scheduler and blocks until reactivated.
+func (p *Proc) yield() {
+	p.sim.yielded <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time. Sleep(0) yields to any
+// other same-time events before continuing.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("des: negative sleep")
+	}
+	s := p.sim
+	s.Schedule(s.now+d, func() { s.activate(p) })
+	p.yield()
+}
+
+// park blocks the process until something reactivates it via sim.activate
+// (used by Chan and higher-level synchronisation built on it).
+func (p *Proc) park() { p.yield() }
+
+// unpark schedules the process to resume at the current virtual time.
+// Callable from scheduler context or from another process.
+func (p *Proc) unpark() {
+	s := p.sim
+	s.Schedule(s.now, func() { s.activate(p) })
+}
+
+// Park blocks the calling process until another process or event calls
+// Unpark on it. It is the building block for synchronisation primitives
+// outside this package (mutexes, CPU queues); pair every Park with exactly
+// one Unpark.
+func (p *Proc) Park() { p.park() }
+
+// Unpark schedules p to resume at the current virtual time. It may be
+// called from scheduler context (event callbacks) or from another process;
+// calling it for a process that is not parked corrupts the simulation.
+func (p *Proc) Unpark() { p.unpark() }

@@ -1,0 +1,709 @@
+// Package envcore is the shared machinery of the simulated middleware
+// environments (internal/env/mpi, madmpi, pm2, orb). Each environment is an
+// instance of envcore.Env with its own cost model and thread policy; the
+// axes are exactly those the paper identifies as distinguishing the real
+// middlewares (Table 4, §5.1, §6):
+//
+//   - per-message CPU cost and per-byte packing/marshaling cost on each
+//     side (PM2's explicit packing, OmniORB's CDR encoding, MPI's memcpy);
+//   - wire overhead (headers; GIOP adds the most);
+//   - number of sending threads (1, 2, or one per destination);
+//   - receive model: a single receive thread that ingests messages strictly
+//     one after another (MPICH/Madeleine), or receive threads created on
+//     demand whose non-CPU dispatch latency overlaps across messages
+//     (PM2, OmniORB), or no receive thread at all (mono-threaded
+//     synchronous MPI, where receipts happen inside SyncExchange);
+//   - protocol selection (MPICH/Madeleine can use a faster SAN protocol
+//     intra-site);
+//   - reachability requirements: client/server middleware (the ORB) can
+//     relay around blocked site pairs, the SPMD middlewares require a
+//     complete connection graph (§5.3).
+package envcore
+
+import (
+	"fmt"
+	"time"
+
+	"aiac/internal/aiac"
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+	"aiac/internal/netsim"
+	"aiac/internal/trace"
+)
+
+// RecvModel selects the receive-side threading of an environment.
+type RecvModel int
+
+const (
+	// RecvSync has no receive thread: data messages queue until the
+	// application calls SyncExchange (mono-threaded MPI).
+	RecvSync RecvModel = iota
+	// RecvSingleThread ingests data messages with one thread, strictly
+	// serially: dispatch latency and CPU cost of message k delay message
+	// k+1.
+	RecvSingleThread
+	// RecvOnDemand spawns a short-lived handler thread per message:
+	// dispatch latencies overlap; only CPU costs contend.
+	RecvOnDemand
+)
+
+func (m RecvModel) String() string {
+	switch m {
+	case RecvSync:
+		return "in-place (mono-threaded)"
+	case RecvSingleThread:
+		return "one receiving thread"
+	case RecvOnDemand:
+		return "receiving threads created on demand"
+	default:
+		return fmt.Sprintf("RecvModel(%d)", int(m))
+	}
+}
+
+// CostModel is the per-environment communication cost structure.
+type CostModel struct {
+	// HeaderBytes is the fixed wire overhead per message.
+	HeaderBytes int
+	// WireOverheadPerByte inflates the payload on the wire (CDR padding
+	// and type tags for the ORB; zero for raw buffers).
+	WireOverheadPerByte float64
+	// PackNsPerByte / UnpackNsPerByte are CPU nanoseconds per payload
+	// byte for marshaling on each side.
+	PackNsPerByte   float64
+	UnpackNsPerByte float64
+	// SendCPU / RecvCPU are fixed per-message CPU costs (protocol stack).
+	SendCPU des.Time
+	RecvCPU des.Time
+	// SendLatency / RecvLatency are fixed non-CPU per-message dispatch
+	// latencies (socket turnaround, thread wakeup). On the receive side
+	// they serialise under RecvSingleThread and overlap under
+	// RecvOnDemand — the mechanical difference behind Table 2 vs Table 3.
+	SendLatency des.Time
+	RecvLatency des.Time
+}
+
+// Options configures an environment instance.
+type Options struct {
+	Name        string
+	Costs       CostModel
+	SendThreads int
+	RecvModel   RecvModel
+	// RecvThreads is the size of the receive thread pool under
+	// RecvSingleThread (Table 4 gives MPICH/Madeleine two receiving
+	// threads on the non-linear problem). Default 1.
+	RecvThreads  int
+	ThreadPolicy string
+	// ProtoFor, when non-nil, selects the network protocol for a pair of
+	// nodes (MPICH/Madeleine multi-protocol feature).
+	ProtoFor func(net *netsim.Network, from, to int) string
+	// Relay enables application-level routing around blocked site pairs
+	// (the ORB's client/server architecture, §5.3). Without it, New
+	// fails on grids whose connection graph is incomplete.
+	Relay bool
+	// Backpressure makes a data send count as in-progress until the
+	// *receive machinery has consumed it*, not merely until network
+	// delivery: MPI rendezvous semantics, where a large send completes
+	// only once the matching receive is posted and drained. Combined
+	// with a single receive thread this throttles every sender behind
+	// the receiver's serial ingestion — the mechanical source of
+	// MPICH/Madeleine's penalty under the sparse problem's all-to-all
+	// traffic (Table 2). RPC/oneway middlewares (PM2, the ORB) buffer
+	// and complete at delivery.
+	Backpressure bool
+	// RendezvousBytes is the eager/rendezvous protocol switch-over of an
+	// MPI-style environment (meaningful only with Backpressure). Data
+	// messages at or above this payload size pay a request-to-send /
+	// clear-to-send handshake — one extra network round-trip — before
+	// the data moves, and complete only at the matching receive. Smaller
+	// messages are sent eagerly. Zero means every data message uses
+	// rendezvous.
+	RendezvousBytes int
+	// RecvWindow bounds how many undispatched data messages a receiver
+	// may buffer before eager senders are throttled (their send counts
+	// as in-progress until the receive machinery consumes it) — the
+	// message-level analogue of TCP flow control. Zero means the default
+	// of 16.
+	RecvWindow int
+	// SocketBufBytes models the kernel socket buffering of a 2004 TCP
+	// stack (16-64 KiB). Under RecvSingleThread, the portion of a data
+	// message beyond the buffer cannot be accepted until the receive
+	// thread actively drains the connection, so the thread spends
+	// (wire bytes - buffer) at the path's wire rate per message — and
+	// concurrent inbound transfers serialise behind it. Environments
+	// with receive threads created on demand drain connections
+	// concurrently and never stall this way. Zero means unlimited
+	// buffering (no stall).
+	SocketBufBytes int
+	// Trace, when non-nil, records message deliveries.
+	Trace *trace.Collector
+}
+
+// Env is a middleware environment instantiated over a grid. It implements
+// aiac.Env.
+type Env struct {
+	grid *cluster.Grid
+	opts Options
+	eps  []*Endpoint
+}
+
+// New builds the environment and starts its receive/send threads. It
+// returns an error if the grid's connection graph does not meet the
+// environment's deployment requirements.
+func New(grid *cluster.Grid, opts Options) (*Env, error) {
+	if opts.SendThreads < 1 {
+		opts.SendThreads = 1
+	}
+	n := grid.Size()
+	if !opts.Relay {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if !grid.Net.Reachable(grid.Machines[i].Node, grid.Machines[j].Node) {
+					return nil, fmt.Errorf("env %s: deployment requires a complete connection graph, but nodes %d and %d cannot see each other (§5.3)",
+						opts.Name, i, j)
+				}
+			}
+		}
+	}
+	e := &Env{grid: grid, opts: opts, eps: make([]*Endpoint, n)}
+	for r := 0; r < n; r++ {
+		e.eps[r] = newEndpoint(e, r)
+	}
+	for _, ep := range e.eps {
+		ep.startThreads()
+	}
+	return e, nil
+}
+
+// MustNew is New that panics on deployment errors (for tests and grids
+// known to be fully connected).
+func MustNew(grid *cluster.Grid, opts Options) *Env {
+	e, err := New(grid, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name implements aiac.Env.
+func (e *Env) Name() string { return e.opts.Name }
+
+// ThreadPolicy implements aiac.Env (the Table 4 row).
+func (e *Env) ThreadPolicy() string { return e.opts.ThreadPolicy }
+
+// Comm implements aiac.Env.
+func (e *Env) Comm(r int) aiac.Comm { return e.eps[r] }
+
+// Grid returns the grid the environment runs on.
+func (e *Env) Grid() *cluster.Grid { return e.grid }
+
+// wireKind discriminates middleware messages.
+type wireKind int
+
+const (
+	wData wireKind = iota
+	wState
+	wStop
+	wBarArrive
+	wBarRelease
+	wRedContrib
+	wRedResult
+)
+
+// wire is one middleware message on the network.
+type wire struct {
+	kind    wireKind
+	from    int
+	finalTo int // differs from the addressed node when relayed
+	data    aiac.DataMsg
+	state   aiac.StateMsg
+	round   int
+	redOp   redOp
+	values  []float64
+	// payloadBytes is the application payload size (pre-inflation).
+	payloadBytes int
+	// senderEp/key identify the in-flight send channel to release on
+	// delivery.
+	senderEp *Endpoint
+	key      int
+	hasKey   bool
+	// rendezvous marks a data message whose send completes only at the
+	// matching receive (MPI large-message protocol).
+	rendezvous bool
+}
+
+// controlPayloadBytes is the application payload of control messages.
+const controlPayloadBytes = 16
+
+// Endpoint is one rank's attachment to the environment. It implements
+// aiac.Comm.
+type Endpoint struct {
+	env  *Env
+	rank int
+
+	inbox    *des.Chan // data wires awaiting the receive machinery
+	syncData *des.Chan // data wires awaiting SyncExchange (RecvSync)
+	sendq    *des.Chan // queued async sends
+
+	inflight  map[int]bool
+	dataSink  func(aiac.DataMsg)
+	stateSink func(p *des.Proc, st aiac.StateMsg)
+	stop      *des.Gate
+
+	barrierRound int
+	barrierGates map[int]*des.Gate
+	barArrivals  map[int]int // rank 0 only
+
+	redRound   int
+	redGates   map[int]*des.Gate
+	redResults map[int][]float64
+	redPending map[int]*redState // rank 0 only
+}
+
+// redOp selects the reduction operator.
+type redOp int
+
+const (
+	redMax redOp = iota
+	redSum
+)
+
+type redState struct {
+	count int
+	acc   []float64
+}
+
+func newEndpoint(e *Env, rank int) *Endpoint {
+	sim := e.grid.Sim
+	return &Endpoint{
+		env:          e,
+		rank:         rank,
+		inbox:        des.NewChan(sim),
+		syncData:     des.NewChan(sim),
+		sendq:        des.NewChan(sim),
+		inflight:     make(map[int]bool),
+		stop:         des.NewGate(sim),
+		barrierGates: make(map[int]*des.Gate),
+		barArrivals:  make(map[int]int),
+		redGates:     make(map[int]*des.Gate),
+		redResults:   make(map[int][]float64),
+		redPending:   make(map[int]*redState),
+	}
+}
+
+func (ep *Endpoint) cpu() interface {
+	Use(p *des.Proc, d des.Time)
+	Spawn(name string, body func(p *des.Proc)) *des.Proc
+} {
+	return ep.env.grid.Machines[ep.rank].CPU
+}
+
+// startThreads launches the environment's per-rank threads.
+func (ep *Endpoint) startThreads() {
+	sim := ep.env.grid.Sim
+	c := ep.env.opts.Costs
+	// Sending threads consume the async send queue.
+	for i := 0; i < ep.env.opts.SendThreads; i++ {
+		name := fmt.Sprintf("%s-send%d@%d", ep.env.opts.Name, i, ep.rank)
+		sim.Spawn(name, func(p *des.Proc) {
+			for {
+				v, ok := ep.sendq.Recv(p)
+				if !ok {
+					return
+				}
+				w := v.(*wire)
+				ep.chargePack(p, w.payloadBytes)
+				if c.SendLatency > 0 {
+					p.Sleep(c.SendLatency)
+				}
+				if ep.env.opts.Backpressure && w.kind == wData &&
+					w.payloadBytes >= ep.env.opts.RendezvousBytes {
+					// Rendezvous protocol: RTS/CTS handshake — one
+					// extra round-trip — before the payload moves. The
+					// handshake is kernel-level, so the send thread is
+					// free, but the channel stays in-progress.
+					w.rendezvous = true
+					rtt := 2 * ep.pathLatency(w.finalTo)
+					ep.env.grid.Sim.After(rtt, func() { ep.transmit(w, w.finalTo) })
+					continue
+				}
+				ep.transmit(w, w.finalTo)
+			}
+		})
+	}
+	// Receive machinery.
+	switch ep.env.opts.RecvModel {
+	case RecvSync:
+		// No threads: SyncExchange drains syncData.
+	case RecvSingleThread:
+		nthreads := ep.env.opts.RecvThreads
+		if nthreads < 1 {
+			nthreads = 1
+		}
+		for i := 0; i < nthreads; i++ {
+			name := fmt.Sprintf("%s-recv%d@%d", ep.env.opts.Name, i, ep.rank)
+			sim.Spawn(name, func(p *des.Proc) {
+				for {
+					v, ok := ep.inbox.Recv(p)
+					if !ok {
+						return
+					}
+					w := v.(*wire)
+					if c.RecvLatency > 0 {
+						p.Sleep(c.RecvLatency) // serial: blocks this thread
+					}
+					if d := ep.socketDrain(w); d > 0 {
+						p.Sleep(d) // drain the stalled tail at wire rate
+					}
+					ep.chargeUnpack(p, w.payloadBytes)
+					ep.deliverData(w)
+				}
+			})
+		}
+	case RecvOnDemand:
+		name := fmt.Sprintf("%s-dispatch@%d", ep.env.opts.Name, ep.rank)
+		sim.Spawn(name, func(p *des.Proc) {
+			for {
+				v, ok := ep.inbox.Recv(p)
+				if !ok {
+					return
+				}
+				w := v.(*wire)
+				// A fresh handler thread per message: latency overlaps.
+				ep.cpu().Spawn(fmt.Sprintf("%s-h@%d", ep.env.opts.Name, ep.rank), func(hp *des.Proc) {
+					if c.RecvLatency > 0 {
+						hp.Sleep(c.RecvLatency)
+					}
+					ep.chargeUnpack(hp, w.payloadBytes)
+					ep.deliverData(w)
+				})
+			}
+		})
+	}
+}
+
+func (ep *Endpoint) chargePack(p *des.Proc, payloadBytes int) {
+	c := ep.env.opts.Costs
+	d := c.SendCPU + des.Time(c.PackNsPerByte*float64(payloadBytes))
+	ep.cpu().Use(p, d)
+}
+
+func (ep *Endpoint) chargeUnpack(p *des.Proc, payloadBytes int) {
+	c := ep.env.opts.Costs
+	d := c.RecvCPU + des.Time(c.UnpackNsPerByte*float64(payloadBytes))
+	ep.cpu().Use(p, d)
+}
+
+// wireBytes is the on-the-wire size of a message.
+func (ep *Endpoint) wireBytes(payloadBytes int) int {
+	c := ep.env.opts.Costs
+	return c.HeaderBytes + payloadBytes + int(c.WireOverheadPerByte*float64(payloadBytes))
+}
+
+// transmit puts w on the network towards finalTo, relaying if the pair is
+// blocked and the environment supports it. Callable from processes and
+// scheduler context.
+func (ep *Endpoint) transmit(w *wire, finalTo int) {
+	net := ep.env.grid.Net
+	to := finalTo
+	if !net.Reachable(ep.rank, to) {
+		if !ep.env.opts.Relay {
+			panic(fmt.Sprintf("env %s: node %d cannot reach %d and relaying is unsupported", ep.env.opts.Name, ep.rank, to))
+		}
+		relay := ep.findRelay(to)
+		if relay < 0 {
+			panic(fmt.Sprintf("env %s: no relay between %d and %d", ep.env.opts.Name, ep.rank, to))
+		}
+		to = relay
+	}
+	proto := ""
+	if ep.env.opts.ProtoFor != nil {
+		proto = ep.env.opts.ProtoFor(net, ep.rank, to)
+	}
+	w.finalTo = finalTo
+	dst := ep.env.eps[to]
+	sentAt := ep.env.grid.Sim.Now()
+	_, err := net.Send(ep.rank, to, ep.wireBytes(w.payloadBytes), w, proto, func(m *netsim.Message) {
+		ww := m.Payload.(*wire)
+		if ww.hasKey && ww.senderEp != nil && ww.finalTo == dst.rank && !ww.rendezvous {
+			window := dst.env.opts.RecvWindow
+			if window <= 0 {
+				window = 16
+			}
+			if dst.inbox.Len() < window {
+				// Eager send: terminated on delivery; the next
+				// TrySendData for this channel may proceed.
+				delete(ww.senderEp.inflight, ww.key)
+			} else {
+				// Receiver congested: flow control holds the channel
+				// until the receive machinery consumes this message.
+				ww.rendezvous = true
+			}
+		}
+		if ww.finalTo != dst.rank {
+			// We are a relay hop: forward without unmarshaling the
+			// application payload (the ORB forwards GIOP bodies).
+			dst.transmit(ww, ww.finalTo)
+			return
+		}
+		ep.env.opts.Trace.AddMsg(ww.from, dst.rank, sentAt, m.DeliverAt)
+		dst.receive(ww)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("env %s: transmit: %v", ep.env.opts.Name, err))
+	}
+}
+
+// findRelay returns a rank that can see both this endpoint and to.
+func (ep *Endpoint) findRelay(to int) int {
+	net := ep.env.grid.Net
+	for r := range ep.env.eps {
+		if r == ep.rank || r == to {
+			continue
+		}
+		if net.Reachable(ep.rank, r) && net.Reachable(r, to) {
+			return r
+		}
+	}
+	return -1
+}
+
+// receive handles a wire addressed to this endpoint. Runs in scheduler
+// context (network delivery). Control messages are processed immediately;
+// data messages go to the receive machinery.
+func (ep *Endpoint) receive(w *wire) {
+	switch w.kind {
+	case wData:
+		if ep.env.opts.RecvModel == RecvSync {
+			ep.syncData.Send(w)
+		} else {
+			ep.inbox.Send(w)
+		}
+	case wState:
+		if ep.stateSink != nil {
+			ep.stateSink(nil, w.state)
+		}
+	case wStop:
+		ep.stop.Open()
+	case wBarArrive:
+		ep.barArrivals[w.round]++
+		if ep.barArrivals[w.round] == ep.env.grid.Size() {
+			delete(ep.barArrivals, w.round)
+			for r := range ep.env.eps {
+				ep.control(wire{kind: wBarRelease, from: ep.rank, round: w.round}, r)
+			}
+		}
+	case wBarRelease:
+		if g, ok := ep.barrierGates[w.round]; ok {
+			delete(ep.barrierGates, w.round)
+			g.Open()
+		}
+	case wRedContrib:
+		st := ep.redPending[w.round]
+		if st == nil {
+			st = &redState{acc: append([]float64(nil), w.values...)}
+			ep.redPending[w.round] = st
+		} else {
+			for i, v := range w.values {
+				switch w.redOp {
+				case redMax:
+					if v > st.acc[i] {
+						st.acc[i] = v
+					}
+				case redSum:
+					st.acc[i] += v
+				}
+			}
+		}
+		st.count++
+		if st.count == ep.env.grid.Size() {
+			delete(ep.redPending, w.round)
+			for r := range ep.env.eps {
+				ep.control(wire{kind: wRedResult, from: ep.rank, round: w.round, values: st.acc}, r)
+			}
+		}
+	case wRedResult:
+		ep.redResults[w.round] = w.values
+		if g, ok := ep.redGates[w.round]; ok {
+			g.Open()
+		}
+	default:
+		panic("envcore: unknown wire kind")
+	}
+}
+
+// control transmits a small control wire to rank r (no CPU charge: control
+// traffic is out-of-band and its handling cost is negligible, §4.3).
+func (ep *Endpoint) control(w wire, to int) {
+	w.payloadBytes = controlPayloadBytes
+	ep.transmit(&w, to)
+}
+
+// --- aiac.Comm implementation ---
+
+// Rank implements aiac.Comm.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Size implements aiac.Comm.
+func (ep *Endpoint) Size() int { return ep.env.grid.Size() }
+
+// TrySendData implements the paper's skip-if-busy asynchronous send.
+func (ep *Endpoint) TrySendData(p *des.Proc, o aiac.Outgoing) bool {
+	if ep.inflight[o.Key] {
+		return false
+	}
+	ep.inflight[o.Key] = true
+	w := &wire{
+		kind:         wData,
+		from:         ep.rank,
+		finalTo:      o.To,
+		data:         aiac.DataMsg{From: ep.rank, Iter: o.Iter, Key: o.Key, Lo: o.Lo, Values: o.Values},
+		payloadBytes: 8 * len(o.Values),
+		senderEp:     ep,
+		key:          o.Key,
+		hasKey:       true,
+	}
+	ep.sendq.Send(w)
+	return true
+}
+
+// SetDataSink implements aiac.Comm.
+func (ep *Endpoint) SetDataSink(fn func(aiac.DataMsg)) { ep.dataSink = fn }
+
+func (ep *Endpoint) deliverData(w *wire) {
+	if w.rendezvous && w.hasKey && w.senderEp != nil {
+		// Rendezvous completion: the matching receive has now been
+		// consumed, so the sender's next send on this channel may start.
+		delete(w.senderEp.inflight, w.key)
+	}
+	if ep.dataSink != nil {
+		ep.dataSink(w.data)
+	}
+}
+
+// socketDrain returns the time the receive thread spends pulling the part
+// of a message that did not fit in the kernel socket buffer (see
+// Options.SocketBufBytes).
+func (ep *Endpoint) socketDrain(w *wire) des.Time {
+	buf := ep.env.opts.SocketBufBytes
+	if buf <= 0 {
+		return 0
+	}
+	stalled := ep.wireBytes(w.payloadBytes) - buf
+	if stalled <= 0 {
+		return 0
+	}
+	path := ep.env.grid.Net.PathBetween(w.from, ep.rank, "")
+	return des.Time(float64(stalled) / path.BottleneckBps * float64(time.Second))
+}
+
+// pathLatency returns the one-way network latency towards rank to.
+func (ep *Endpoint) pathLatency(to int) des.Time {
+	proto := ""
+	if ep.env.opts.ProtoFor != nil {
+		proto = ep.env.opts.ProtoFor(ep.env.grid.Net, ep.rank, to)
+	}
+	return ep.env.grid.Net.PathBetween(ep.rank, to, proto).Latency
+}
+
+// SendState implements aiac.Comm: state changes go to rank 0, never
+// skipped.
+func (ep *Endpoint) SendState(p *des.Proc, st aiac.StateMsg) {
+	ep.chargePack(p, controlPayloadBytes)
+	ep.transmit(&wire{kind: wState, from: ep.rank, finalTo: 0, state: st, payloadBytes: controlPayloadBytes}, 0)
+}
+
+// SetStateSink implements aiac.Comm.
+func (ep *Endpoint) SetStateSink(fn func(p *des.Proc, st aiac.StateMsg)) { ep.stateSink = fn }
+
+// BroadcastStop implements aiac.Comm. p may be nil (scheduler context).
+func (ep *Endpoint) BroadcastStop(p *des.Proc) {
+	for r := range ep.env.eps {
+		ep.control(wire{kind: wStop, from: ep.rank}, r)
+	}
+}
+
+// Stop implements aiac.Comm.
+func (ep *Endpoint) Stop() *des.Gate { return ep.stop }
+
+// Barrier implements aiac.Comm.
+func (ep *Endpoint) Barrier(p *des.Proc) {
+	round := ep.barrierRound
+	ep.barrierRound++
+	g := des.NewGate(ep.env.grid.Sim)
+	ep.barrierGates[round] = g
+	ep.control(wire{kind: wBarArrive, from: ep.rank, round: round}, 0)
+	g.Wait(p)
+}
+
+// SyncExchange implements the SISC blocking exchange.
+func (ep *Endpoint) SyncExchange(p *des.Proc, sends []aiac.Outgoing, nRecv int) {
+	// Mono-threaded blocking sends, one after another.
+	for _, o := range sends {
+		ep.chargePack(p, 8*len(o.Values))
+		w := &wire{
+			kind:         wData,
+			from:         ep.rank,
+			finalTo:      o.To,
+			data:         aiac.DataMsg{From: ep.rank, Iter: o.Iter, Key: o.Key, Lo: o.Lo, Values: o.Values},
+			payloadBytes: 8 * len(o.Values),
+		}
+		ep.transmit(w, o.To)
+	}
+	// Blocking receives of this iteration's dependency data.
+	for i := 0; i < nRecv; i++ {
+		v, ok := ep.syncData.Recv(p)
+		if !ok {
+			return
+		}
+		w := v.(*wire)
+		ep.chargeUnpack(p, w.payloadBytes)
+		ep.deliverData(w)
+	}
+}
+
+// AllreduceMax implements aiac.Comm via gather-to-0 plus broadcast.
+func (ep *Endpoint) AllreduceMax(p *des.Proc, v float64) float64 {
+	return ep.allreduce(p, redMax, []float64{v})[0]
+}
+
+// AllreduceSum implements aiac.Comm: element-wise sums across ranks, the
+// collective behind distributed dot products.
+func (ep *Endpoint) AllreduceSum(p *des.Proc, vs []float64) []float64 {
+	return ep.allreduce(p, redSum, vs)
+}
+
+func (ep *Endpoint) allreduce(p *des.Proc, op redOp, vs []float64) []float64 {
+	round := ep.redRound
+	ep.redRound++
+	g := des.NewGate(ep.env.grid.Sim)
+	ep.redGates[round] = g
+	contrib := append([]float64(nil), vs...)
+	w := wire{kind: wRedContrib, from: ep.rank, round: round, redOp: op, values: contrib}
+	w.payloadBytes = controlPayloadBytes + 8*len(vs)
+	ep.transmit(&w, 0)
+	g.Wait(p)
+	delete(ep.redGates, round)
+	res := ep.redResults[round]
+	delete(ep.redResults, round)
+	return res
+}
+
+// ResetSession implements aiac.Comm.
+func (ep *Endpoint) ResetSession() {
+	ep.stop = des.NewGate(ep.env.grid.Sim)
+	ep.inflight = make(map[int]bool)
+}
+
+// compile-time interface checks
+var (
+	_ aiac.Comm = (*Endpoint)(nil)
+	_ aiac.Env  = (*Env)(nil)
+)
+
+// DefaultSendLatency and friends document the baseline middleware timing
+// constants shared by the concrete environments (2004-era TCP stacks and
+// user-level thread packages); each environment refines them.
+const (
+	DefaultSendLatency = 100 * time.Microsecond
+	DefaultRecvLatency = 250 * time.Microsecond
+)

@@ -1,0 +1,46 @@
+package madmpi
+
+import (
+	"testing"
+
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+	"aiac/internal/netsim"
+)
+
+func TestProtoForPrefersSAN(t *testing.T) {
+	sim := des.New()
+	grid := cluster.LocalMultiProtocol(sim, 4)
+	if p := ProtoFor(grid.Net, 0, 1); p != "myrinet" {
+		t.Fatalf("intra-site proto = %q, want myrinet", p)
+	}
+	sim2 := des.New()
+	grid2 := cluster.ThreeSiteEthernet(sim2, 4)
+	if p := ProtoFor(grid2.Net, 0, 1); p != netsim.TCP {
+		t.Fatalf("inter-site proto = %q, want tcp", p)
+	}
+}
+
+func TestTable4Policies(t *testing.T) {
+	sim := des.New()
+	g := cluster.LocalHeterogeneous(sim, 3)
+	sp := MustNew(g, Sparse, nil)
+	if sp.ThreadPolicy() != "one sending thread, one receiving thread" {
+		t.Fatalf("sparse policy = %q", sp.ThreadPolicy())
+	}
+	sim2 := des.New()
+	g2 := cluster.LocalHeterogeneous(sim2, 3)
+	nl := MustNew(g2, NonLinear, nil)
+	if nl.ThreadPolicy() != "two sending threads, two receiving threads" {
+		t.Fatalf("nonlinear policy = %q", nl.ThreadPolicy())
+	}
+}
+
+func TestDeploymentNeedsFullGraph(t *testing.T) {
+	sim := des.New()
+	g := cluster.ThreeSiteEthernet(sim, 3)
+	g.Net.Block(0, 2)
+	if _, err := New(g, Sparse, nil); err == nil {
+		t.Fatal("MPICH/Madeleine must refuse incomplete connection graphs")
+	}
+}

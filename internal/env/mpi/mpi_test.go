@@ -1,0 +1,29 @@
+package mpi
+
+import (
+	"testing"
+
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+)
+
+func TestName(t *testing.T) {
+	sim := des.New()
+	g := cluster.LocalHeterogeneous(sim, 3)
+	e := MustNew(g, nil)
+	if e.Name() != "sync-mpi" {
+		t.Fatalf("name = %q", e.Name())
+	}
+	if e.ThreadPolicy() == "" {
+		t.Fatal("empty thread policy")
+	}
+}
+
+func TestDeploymentNeedsFullGraph(t *testing.T) {
+	sim := des.New()
+	g := cluster.ThreeSiteEthernet(sim, 3)
+	g.Net.Block(0, 1)
+	if _, err := New(g, nil); err == nil {
+		t.Fatal("MPI must refuse incomplete connection graphs")
+	}
+}

@@ -1,0 +1,127 @@
+package orb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+)
+
+func TestCDRRoundTrip(t *testing.T) {
+	r := Request{From: 3, Iter: 42, Lo: 1000, Values: []float64{1.5, -2.25, math.Pi, 0}}
+	b := EncodeRequest(r)
+	got, err := DecodeRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != r.From || got.Iter != r.Iter || got.Lo != r.Lo {
+		t.Fatalf("header fields: %+v", got)
+	}
+	for i := range r.Values {
+		if got.Values[i] != r.Values[i] {
+			t.Fatalf("value %d: %v != %v", i, got.Values[i], r.Values[i])
+		}
+	}
+}
+
+func TestCDRRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := Request{
+			From:   int32(rng.Intn(1000)),
+			Iter:   int32(rng.Intn(100000)),
+			Lo:     int32(rng.Intn(1 << 20)),
+			Values: make([]float64, int(n)),
+		}
+		for i := range r.Values {
+			r.Values[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+		}
+		b := EncodeRequest(r)
+		got, err := DecodeRequest(b)
+		if err != nil {
+			return false
+		}
+		if got.From != r.From || got.Iter != r.Iter || got.Lo != r.Lo || len(got.Values) != len(r.Values) {
+			return false
+		}
+		for i := range r.Values {
+			if got.Values[i] != r.Values[i] && !(math.IsNaN(got.Values[i]) && math.IsNaN(r.Values[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MessageBytes must match the real encoding exactly — it is what the hot
+// path charges for.
+func TestMessageBytesMatchesEncoding(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 12345} {
+		r := Request{Values: make([]float64, n)}
+		if got, want := len(EncodeRequest(r)), MessageBytes(n); got != want {
+			t.Fatalf("n=%d: encoded %d bytes, MessageBytes says %d", n, got, want)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("hello"),
+		[]byte("GIOPxxxxxxxxxxx"),
+		EncodeRequest(Request{Values: []float64{1}})[:20], // truncated
+	}
+	for i, b := range cases {
+		if _, err := DecodeRequest(b); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestGIOPHeaderLargerThanMPIFamily(t *testing.T) {
+	// The ORB's fixed overhead must exceed the raw-buffer environments'
+	// (that is the Table 3 mechanism).
+	if MessageBytes(0) <= 64 {
+		t.Fatalf("GIOP fixed overhead %d should exceed 64 bytes", MessageBytes(0))
+	}
+}
+
+func TestNamingService(t *testing.T) {
+	ns := NewNamingService(0)
+	msgs := Bootstrap(ns, 5)
+	if msgs != 25 {
+		t.Fatalf("bootstrap messages = %d", msgs)
+	}
+	for r := 0; r < 5; r++ {
+		if _, ok := ns.Resolve(r); !ok {
+			t.Fatalf("rank %d not resolvable", r)
+		}
+	}
+	if _, ok := ns.Resolve(99); ok {
+		t.Fatal("unknown rank resolved")
+	}
+}
+
+func TestKindThreadPolicies(t *testing.T) {
+	sim := des.New()
+	grid := cluster.LocalHeterogeneous(sim, 4)
+	sparse := MustNew(grid, Sparse, nil)
+	if sparse.ThreadPolicy() != "N sending threads, receiving threads created on demand" {
+		t.Fatalf("sparse policy = %q", sparse.ThreadPolicy())
+	}
+	sim2 := des.New()
+	grid2 := cluster.LocalHeterogeneous(sim2, 4)
+	nl := MustNew(grid2, NonLinear, nil)
+	if nl.ThreadPolicy() != "two sending threads, receiving threads created on demand" {
+		t.Fatalf("nonlinear policy = %q", nl.ThreadPolicy())
+	}
+	if nl.Name() != "omniorb4" {
+		t.Fatalf("name = %q", nl.Name())
+	}
+}

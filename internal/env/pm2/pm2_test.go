@@ -1,0 +1,35 @@
+package pm2
+
+import (
+	"testing"
+
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+)
+
+func TestTable4Policies(t *testing.T) {
+	sim := des.New()
+	g := cluster.LocalHeterogeneous(sim, 3)
+	sp := MustNew(g, Sparse, nil)
+	if sp.ThreadPolicy() != "one sending thread, receiving threads created on demand" {
+		t.Fatalf("sparse policy = %q", sp.ThreadPolicy())
+	}
+	if sp.Name() != "pm2" {
+		t.Fatalf("name = %q", sp.Name())
+	}
+	sim2 := des.New()
+	g2 := cluster.LocalHeterogeneous(sim2, 3)
+	nl := MustNew(g2, NonLinear, nil)
+	if nl.ThreadPolicy() != "two sending threads, one receiving thread" {
+		t.Fatalf("nonlinear policy = %q", nl.ThreadPolicy())
+	}
+}
+
+func TestDeploymentNeedsFullGraph(t *testing.T) {
+	sim := des.New()
+	g := cluster.ThreeSiteEthernet(sim, 3)
+	g.Net.Block(1, 2)
+	if _, err := New(g, Sparse, nil); err == nil {
+		t.Fatal("PM2 must refuse incomplete connection graphs (§5.3)")
+	}
+}

@@ -1,0 +1,171 @@
+// Package gmres implements the restarted GMRES(m) iterative solver of Saad
+// (the paper's reference [18]), used as the sequential linear solver inside
+// each Newton step of the multisplitting method (§4.2).
+//
+// The solver is matrix-free: it only needs the operator y = A·x, so the
+// chemical problem can apply its Jacobian via stencils without assembling a
+// matrix.
+package gmres
+
+import (
+	"errors"
+	"math"
+
+	"aiac/internal/la"
+)
+
+// Operator applies dst = A·x. It must not retain the slices.
+type Operator func(dst, x []float64)
+
+// Params configures a solve.
+type Params struct {
+	// Restart is the Krylov subspace dimension m (default 30).
+	Restart int
+	// Tol is the relative residual target ||r||/||b|| (default 1e-8).
+	Tol float64
+	// MaxIters caps the total iterations across restarts (default 10*n).
+	MaxIters int
+}
+
+func (p Params) withDefaults(n int) Params {
+	if p.Restart <= 0 {
+		p.Restart = 30
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-8
+	}
+	if p.MaxIters <= 0 {
+		p.MaxIters = 10 * n
+	}
+	return p
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Flops      float64
+	Converged  bool
+}
+
+// ErrStagnated is returned when the iteration cap is reached before the
+// tolerance. The best iterate so far is still written to x.
+var ErrStagnated = errors.New("gmres: iteration cap reached before convergence")
+
+// Solve finds x such that A·x ≈ b, starting from the initial guess in x and
+// overwriting it with the solution. opFlops is the flop cost the caller
+// attributes to one operator application (added to the returned count per
+// iteration).
+func Solve(apply Operator, b, x []float64, p Params, opFlops float64) (Result, error) {
+	n := len(b)
+	if len(x) != n {
+		panic("gmres: dimension mismatch")
+	}
+	p = p.withDefaults(n)
+	var res Result
+	bnorm := la.Norm2(b)
+	res.Flops += 2 * float64(n)
+	if bnorm == 0 {
+		// Solution of A·x = 0 with a nonsingular A is x = 0.
+		la.Fill(x, 0)
+		res.Converged = true
+		return res, nil
+	}
+
+	m := p.Restart
+	// Krylov basis and Hessenberg storage, reused across restarts.
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, m+1)
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	y := make([]float64, m)
+	w := make([]float64, n)
+
+	for res.Iterations < p.MaxIters {
+		// r0 = b - A*x
+		apply(w, x)
+		res.Flops += opFlops
+		for i := range w {
+			w[i] = b[i] - w[i]
+		}
+		res.Flops += float64(n)
+		beta := la.Norm2(w)
+		res.Flops += 2 * float64(n)
+		res.Residual = beta / bnorm
+		if res.Residual <= p.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		copy(v[0], w)
+		la.Scale(1/beta, v[0])
+		res.Flops += float64(n)
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < m && res.Iterations < p.MaxIters; k++ {
+			res.Iterations++
+			// Arnoldi: w = A*v_k, modified Gram-Schmidt against v_0..v_k.
+			apply(w, v[k])
+			res.Flops += opFlops
+			for i := 0; i <= k; i++ {
+				h[i][k] = la.Dot(w, v[i])
+				la.Axpy(-h[i][k], v[i], w)
+				res.Flops += 4 * float64(n)
+			}
+			h[k+1][k] = la.Norm2(w)
+			res.Flops += 2 * float64(n)
+			if h[k+1][k] > 1e-300 {
+				copy(v[k+1], w)
+				la.Scale(1/h[k+1][k], v[k+1])
+				res.Flops += float64(n)
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			res.Flops += 6 * float64(k)
+			// New rotation to annihilate h[k+1][k].
+			cs[k], sn[k] = la.Givens(h[k][k], h[k+1][k])
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			res.Flops += 12
+			res.Residual = math.Abs(g[k+1]) / bnorm
+			if res.Residual <= p.Tol {
+				k++
+				break
+			}
+		}
+		// Back-substitute y from the k×k triangular system and update x.
+		for i := k - 1; i >= 0; i-- {
+			y[i] = g[i]
+			for j := i + 1; j < k; j++ {
+				y[i] -= h[i][j] * y[j]
+			}
+			y[i] /= h[i][i]
+		}
+		res.Flops += float64(k * k)
+		for i := 0; i < k; i++ {
+			la.Axpy(y[i], v[i], x)
+		}
+		res.Flops += 2 * float64(k) * float64(n)
+		if res.Residual <= p.Tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, ErrStagnated
+}

@@ -1,0 +1,124 @@
+package la
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("dot = %v", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("axpy = %v", y)
+	}
+}
+
+func TestScaleAndFill(t *testing.T) {
+	x := []float64{1, 2}
+	Scale(3, x)
+	if x[0] != 3 || x[1] != 6 {
+		t.Fatalf("scale = %v", x)
+	}
+	Fill(x, 9)
+	if x[0] != 9 || x[1] != 9 {
+		t.Fatalf("fill = %v", x)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if !almost(Norm2(x), 5, 1e-15) {
+		t.Fatalf("norm2 = %v", Norm2(x))
+	}
+	if MaxNorm(x) != 4 {
+		t.Fatalf("maxnorm = %v", MaxNorm(x))
+	}
+	if MaxNormDiff([]float64{1, 5}, []float64{2, 3}) != 2 {
+		t.Fatal("maxnormdiff wrong")
+	}
+}
+
+// Property: Cauchy–Schwarz |<a,b>| <= ||a|| ||b||.
+func TestCauchySchwarz(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		av, bv := a[:], b[:]
+		for i := range av {
+			if math.IsNaN(av[i]) || math.IsInf(av[i], 0) || math.Abs(av[i]) > 1e100 {
+				av[i] = 1
+			}
+			if math.IsNaN(bv[i]) || math.IsInf(bv[i], 0) || math.Abs(bv[i]) > 1e100 {
+				bv[i] = 1
+			}
+		}
+		lhs := math.Abs(Dot(av, bv))
+		rhs := Norm2(av) * Norm2(bv)
+		return lhs <= rhs*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Givens produces an orthonormal rotation that zeroes b.
+func TestGivensProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e150 || math.Abs(b) > 1e150 {
+			return true
+		}
+		c, s := Givens(a, b)
+		if !almost(c*c+s*s, 1, 1e-12) {
+			return false
+		}
+		zero := -s*a + c*b
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		if scale == 0 {
+			return zero == 0
+		}
+		return math.Abs(zero)/scale < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Add(5)
+	if c.Take() != 15 {
+		t.Fatal("counter take wrong")
+	}
+	if c.Take() != 0 {
+		t.Fatal("counter not reset")
+	}
+}
+
+func TestMaxNormDiffMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MaxNormDiff([]float64{1}, []float64{1, 2})
+}

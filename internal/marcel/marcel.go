@@ -1,0 +1,295 @@
+// Package marcel models the thread package of a simulated node.
+//
+// It is named after Marcel, the POSIX-compliant user-level thread library
+// underneath both PM2 and MPICH/Madeleine in the paper. The paper's §6
+// concludes that the two middleware features that matter most for AIAC
+// algorithms are (1) a multi-threaded runtime whose scheduler is *fair* —
+// otherwise some sending/receiving threads never run and their
+// communications are never performed — and (2) cheap creation of threads on
+// demand for message receipt. This package makes both properties explicit
+// and tunable so they can be ablated.
+//
+// Each simulated machine has one CPU (the paper's machines are
+// single-processor desktops). Threads consume the CPU through CPU.Use or
+// CPU.Compute; when several threads are runnable the CPU is time-sliced
+// round-robin under the fair policy, while the unfair policy always runs the
+// most recently enqueued thread first, starving older ones under load.
+package marcel
+
+import (
+	"fmt"
+
+	"aiac/internal/des"
+	"time"
+)
+
+// Policy selects how the CPU arbitrates between runnable threads.
+type Policy int
+
+const (
+	// Fair is round-robin with a fixed quantum: every runnable thread
+	// makes progress.
+	Fair Policy = iota
+	// Unfair is LIFO: the most recently arrived request preempts the
+	// queue order, so under a steady arrival stream old requests starve.
+	Unfair
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Fair:
+		return "fair"
+	case Unfair:
+		return "unfair"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// DefaultQuantum is the round-robin time slice. It only matters under
+// contention; a lone runnable thread runs to completion of its request in a
+// single event.
+const DefaultQuantum = 2 * time.Millisecond
+
+// DefaultThreadSpawnCost is the CPU time charged to create a thread on
+// demand (stack allocation + scheduler registration in a 2004 user-level
+// thread package).
+const DefaultThreadSpawnCost = 30 * time.Microsecond
+
+// CPU is a single simulated processor shared by the threads of one node.
+type CPU struct {
+	sim         *des.Simulator
+	name        string
+	SpeedMFlops float64 // compute rate, millions of flops per second
+	Policy      Policy
+	Quantum     des.Time
+	SpawnCost   des.Time
+
+	queue   []*request // runnable, excluding current
+	current *request
+	genSeq  uint64
+
+	busy      des.Time // accumulated busy time
+	lastStart des.Time
+}
+
+type request struct {
+	proc      *des.Proc
+	remaining des.Time
+	gen       uint64 // invalidates stale completion events
+}
+
+// NewCPU returns a CPU with the given compute speed and fair scheduling.
+func NewCPU(sim *des.Simulator, name string, speedMFlops float64) *CPU {
+	if speedMFlops <= 0 {
+		panic("marcel: CPU speed must be positive")
+	}
+	return &CPU{
+		sim:         sim,
+		name:        name,
+		SpeedMFlops: speedMFlops,
+		Policy:      Fair,
+		Quantum:     DefaultQuantum,
+		SpawnCost:   DefaultThreadSpawnCost,
+	}
+}
+
+// BusyTime returns the total CPU time consumed so far.
+func (c *CPU) BusyTime() des.Time {
+	t := c.busy
+	if c.current != nil {
+		t += c.sim.Now() - c.lastStart
+	}
+	return t
+}
+
+// Utilisation returns busy time divided by elapsed virtual time.
+func (c *CPU) Utilisation() float64 {
+	now := c.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(c.BusyTime()) / float64(now)
+}
+
+// Use blocks p until it has consumed d of CPU time on this processor,
+// competing with other threads under the CPU's policy.
+func (c *CPU) Use(p *des.Proc, d des.Time) {
+	if d < 0 {
+		panic("marcel: negative CPU use")
+	}
+	if d == 0 {
+		return
+	}
+	r := &request{proc: p, remaining: d}
+	c.enqueue(r)
+	if c.current == nil {
+		c.dispatch()
+	} else if c.Policy == Unfair || len(c.queue) == 1 {
+		// A new runnable thread arrived: cut the current slice short so
+		// scheduling decisions happen now rather than at the old
+		// completion time. (Under Fair this begins time-slicing; under
+		// Unfair the newcomer preempts.)
+		c.preempt()
+	}
+	p.Park() // completion unparks
+}
+
+// Compute blocks p while it executes the given number of floating-point
+// operations at this CPU's speed.
+func (c *CPU) Compute(p *des.Proc, flops float64) {
+	if flops <= 0 {
+		return
+	}
+	d := des.Time(flops / (c.SpeedMFlops * 1e6) * float64(time.Second))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	c.Use(p, d)
+}
+
+// ComputeTime converts a flop count into CPU time at this CPU's speed
+// without consuming anything (used for estimates and tests).
+func (c *CPU) ComputeTime(flops float64) des.Time {
+	return des.Time(flops / (c.SpeedMFlops * 1e6) * float64(time.Second))
+}
+
+// Spawn starts a new thread on this node after charging the thread-creation
+// cost to the caller-independent CPU queue (the creation itself consumes
+// CPU: the spawned thread runs body only after the cost is paid).
+func (c *CPU) Spawn(name string, body func(p *des.Proc)) *des.Proc {
+	return c.sim.Spawn(name, func(p *des.Proc) {
+		if c.SpawnCost > 0 {
+			c.Use(p, c.SpawnCost)
+		}
+		body(p)
+	})
+}
+
+func (c *CPU) enqueue(r *request) {
+	if c.Policy == Unfair {
+		// LIFO: newest first.
+		c.queue = append([]*request{r}, c.queue...)
+		return
+	}
+	c.queue = append(c.queue, r)
+}
+
+// preempt stops the current slice, accounts consumed time, and requeues the
+// remainder, then redispatches.
+func (c *CPU) preempt() {
+	cur := c.current
+	if cur == nil {
+		return
+	}
+	ran := c.sim.Now() - c.lastStart
+	cur.remaining -= ran
+	c.busy += ran
+	cur.gen = 0 // poison: invalidate its scheduled completion
+	c.current = nil
+	if cur.remaining <= 0 {
+		c.complete(cur)
+	} else {
+		// The preempted thread resumes after the newcomer that caused
+		// the preemption (round-robin under Fair, LIFO under Unfair).
+		at := 1
+		if at > len(c.queue) {
+			at = len(c.queue)
+		}
+		c.queue = append(c.queue[:at], append([]*request{cur}, c.queue[at:]...)...)
+	}
+	c.dispatch()
+}
+
+// dispatch starts the next request if the CPU is idle.
+func (c *CPU) dispatch() {
+	if c.current != nil || len(c.queue) == 0 {
+		return
+	}
+	r := c.queue[0]
+	copy(c.queue, c.queue[1:])
+	c.queue[len(c.queue)-1] = nil
+	c.queue = c.queue[:len(c.queue)-1]
+	c.current = r
+	c.lastStart = c.sim.Now()
+	slice := r.remaining
+	if len(c.queue) > 0 && c.Policy == Fair && slice > c.Quantum {
+		slice = c.Quantum
+	}
+	c.genSeq++
+	r.gen = c.genSeq
+	gen := r.gen
+	c.sim.After(slice, func() {
+		if r.gen != gen || c.current != r {
+			return // stale completion from a preempted slice
+		}
+		ran := c.sim.Now() - c.lastStart
+		r.remaining -= ran
+		c.busy += ran
+		c.current = nil
+		if r.remaining <= 0 {
+			c.complete(r)
+		} else {
+			c.enqueueRoundRobin(r)
+		}
+		c.dispatch()
+	})
+}
+
+// enqueueRoundRobin requeues a partially-run request: at the tail under Fair
+// (true round-robin), at the head under Unfair (it keeps hogging).
+func (c *CPU) enqueueRoundRobin(r *request) {
+	if c.Policy == Unfair {
+		c.queue = append([]*request{r}, c.queue...)
+		return
+	}
+	c.queue = append(c.queue, r)
+}
+
+func (c *CPU) complete(r *request) { r.proc.Unpark() }
+
+// Mutex is a cooperative mutual-exclusion lock between threads of the same
+// simulation. It queues contenders FIFO.
+type Mutex struct {
+	sim     *des.Simulator
+	held    bool
+	waiters []*des.Proc
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(sim *des.Simulator) *Mutex { return &Mutex{sim: sim} }
+
+// Lock blocks p until the mutex is acquired.
+func (m *Mutex) Lock(p *des.Proc) {
+	if !m.held {
+		m.held = true
+		return
+	}
+	m.waiters = append(m.waiters, p)
+	p.Park()
+}
+
+// Unlock releases the mutex, waking the oldest waiter.
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("marcel: unlock of unlocked mutex")
+	}
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		copy(m.waiters, m.waiters[1:])
+		m.waiters = m.waiters[:len(m.waiters)-1]
+		// Hand-off: mutex stays held by the woken thread.
+		w.Unpark()
+		return
+	}
+	m.held = false
+}
+
+// TryLock acquires the mutex if free.
+func (m *Mutex) TryLock() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}

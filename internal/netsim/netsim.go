@@ -1,0 +1,342 @@
+// Package netsim models the interconnect of a simulated grid.
+//
+// A Network is a set of nodes grouped into sites. Within a site, nodes talk
+// over one or more LAN protocols (e.g. TCP over 100 Mb Ethernet, Myrinet,
+// SCI); between sites, traffic goes through each site's uplink (which may be
+// asymmetric, as with the ADSL site of the paper's second grid). A message
+// experiences serialisation delay at the path's bottleneck bandwidth —
+// messages from the same node on the same protocol queue behind each other —
+// plus the path's propagation latency.
+//
+// The model intentionally stops at first-order effects (latency, bandwidth,
+// egress queueing, asymmetry, reachability): these are the effects the paper
+// attributes its results to. Per-message CPU costs (packing, marshaling,
+// thread dispatch) belong to the middleware layer (internal/env).
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"aiac/internal/des"
+)
+
+// TCP is the protocol name every site supports; other protocols (e.g.
+// "myrinet", "sci") are optional per site.
+const TCP = "tcp"
+
+// LinkClass describes a physical link technology.
+// Bandwidths are in bytes per second; UpBps is the rate for traffic leaving
+// the site (or node), DownBps for traffic entering it. Symmetric links set
+// both to the same value.
+type LinkClass struct {
+	Name    string
+	Latency des.Time
+	UpBps   float64
+	DownBps float64
+	// Shared marks a half-duplex shared-medium LAN (2004 10 Mb Ethernet
+	// on hubs): all transfers touching the segment serialise on one
+	// pipe, so the simultaneous bursts of a synchronous algorithm
+	// collide while the staggered traffic of an asynchronous one flows.
+	// Switched LANs (100 Mb Ethernet, Myrinet, SCI) are not shared.
+	Shared bool
+}
+
+// Symmetric returns a LinkClass with equal up and down bandwidth.
+func Symmetric(name string, latency des.Time, bps float64) LinkClass {
+	return LinkClass{Name: name, Latency: latency, UpBps: bps, DownBps: bps}
+}
+
+// Common link technologies used by the paper's grids.
+var (
+	// Ethernet10 is the 10 Mb/s Ethernet of the 3-site grid, modelled as
+	// switched (one collision domain per port).
+	Ethernet10 = Symmetric("ethernet10", 1*time.Millisecond, 10e6/8)
+	// Ethernet10Hub is the same technology on a shared hub: one
+	// collision domain per site. Used by the shared-medium ablation.
+	Ethernet10Hub = LinkClass{Name: "ethernet10hub", Latency: 1 * time.Millisecond, UpBps: 10e6 / 8, DownBps: 10e6 / 8, Shared: true}
+	// Ethernet100 is the 100 Mb/s Ethernet of the local cluster.
+	Ethernet100 = Symmetric("ethernet100", 100*time.Microsecond, 100e6/8)
+	// ADSL is the asymmetric access link of the fourth site:
+	// 512 kb/s receive, 128 kb/s send (paper §5.1).
+	ADSL = LinkClass{Name: "adsl", Latency: 30 * time.Millisecond, UpBps: 128e3 / 8, DownBps: 512e3 / 8}
+	// Myrinet and SCI are fast SAN protocols usable intra-site by
+	// multi-protocol middleware (MPICH/Madeleine).
+	Myrinet = Symmetric("myrinet", 10*time.Microsecond, 2e9/8)
+	SCI     = Symmetric("sci", 5*time.Microsecond, 1.6e9/8)
+	// WAN latency added between distinct sites on top of the uplinks.
+	interSiteLatency = 10 * time.Millisecond
+)
+
+// Site is a group of nodes sharing LAN connectivity and one uplink.
+type Site struct {
+	Name   string
+	Uplink LinkClass
+	// LANs lists the protocols available inside the site. The first
+	// entry is the default; TCP must be present.
+	LANs []LinkClass
+}
+
+// lan resolves a protocol name to one of the site's LANs. The default LAN
+// (first entry) answers to "tcp" regardless of its technology name.
+func (s *Site) lan(proto string) (LinkClass, bool) {
+	if proto == "" || proto == TCP {
+		return s.LANs[0], true
+	}
+	for _, lc := range s.LANs {
+		if lc.Name == proto {
+			return lc, true
+		}
+	}
+	return LinkClass{}, false
+}
+
+// defaultLAN returns the site's first (default) LAN.
+func (s *Site) defaultLAN() LinkClass { return s.LANs[0] }
+
+// Node is one machine's network attachment point.
+type Node struct {
+	ID   int
+	Site int
+}
+
+// Message is an in-flight or delivered network message.
+type Message struct {
+	From, To  int
+	Bytes     int
+	Payload   any
+	Proto     string
+	SentAt    des.Time
+	DeliverAt des.Time
+}
+
+// Stats aggregates traffic counters.
+type Stats struct {
+	Messages    uint64
+	Bytes       uint64
+	InterSite   uint64
+	IntraSite   uint64
+	MaxInFlight int
+}
+
+// Network is the simulated interconnect.
+type Network struct {
+	sim      *des.Simulator
+	sites    []Site
+	nodes    []Node
+	egress   map[egressKey]*pipe
+	blocked  map[[2]int]bool // site pairs with no direct visibility
+	stats    Stats
+	inFlight int
+}
+
+type egressKey struct {
+	node  int
+	proto string
+}
+
+// pipe serialises transfers that share a directional channel.
+type pipe struct{ nextFree des.Time }
+
+func (p *pipe) reserve(now des.Time, d des.Time) (start, end des.Time) {
+	start = now
+	if p.nextFree > start {
+		start = p.nextFree
+	}
+	end = start + d
+	p.nextFree = end
+	return start, end
+}
+
+// New builds a network over the given sites. Nodes are added with AddNode.
+func New(sim *des.Simulator, sites []Site) *Network {
+	for i, s := range sites {
+		if len(s.LANs) == 0 {
+			panic(fmt.Sprintf("netsim: site %d (%s) has no LAN", i, s.Name))
+		}
+	}
+	return &Network{
+		sim:     sim,
+		sites:   sites,
+		egress:  make(map[egressKey]*pipe),
+		blocked: make(map[[2]int]bool),
+	}
+}
+
+// Sim returns the simulator the network is bound to.
+func (n *Network) Sim() *des.Simulator { return n.sim }
+
+// AddNode registers a node on the given site and returns its id.
+func (n *Network) AddNode(site int) int {
+	if site < 0 || site >= len(n.sites) {
+		panic(fmt.Sprintf("netsim: site %d out of range", site))
+	}
+	id := len(n.nodes)
+	n.nodes = append(n.nodes, Node{ID: id, Site: site})
+	return id
+}
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// SiteOf returns the site index of node id.
+func (n *Network) SiteOf(id int) int { return n.nodes[id].Site }
+
+// Sites returns the number of sites.
+func (n *Network) Sites() int { return len(n.sites) }
+
+// Block removes direct visibility between two sites (e.g. a firewall).
+// Traffic between them must be relayed by the application layer; Send
+// returns ErrUnreachable.
+func (n *Network) Block(siteA, siteB int) {
+	n.blocked[[2]int{siteA, siteB}] = true
+	n.blocked[[2]int{siteB, siteA}] = true
+}
+
+// Reachable reports whether from can send directly to to.
+func (n *Network) Reachable(from, to int) bool {
+	sa, sb := n.nodes[from].Site, n.nodes[to].Site
+	return !n.blocked[[2]int{sa, sb}]
+}
+
+// ErrUnreachable is returned by Send when the destination's site is blocked.
+type ErrUnreachable struct{ From, To int }
+
+func (e ErrUnreachable) Error() string {
+	return fmt.Sprintf("netsim: node %d cannot reach node %d (blocked site pair)", e.From, e.To)
+}
+
+// HasProto reports whether both endpoints' sites support proto for the path
+// between from and to. Inter-site paths only ever use TCP.
+func (n *Network) HasProto(from, to int, proto string) bool {
+	if proto == TCP {
+		return true
+	}
+	sa, sb := n.nodes[from].Site, n.nodes[to].Site
+	if sa != sb {
+		return false
+	}
+	_, ok := n.sites[sa].lan(proto)
+	return ok
+}
+
+// Path describes the route a message would take.
+type Path struct {
+	Latency       des.Time
+	BottleneckBps float64
+	InterSite     bool
+	Proto         string
+}
+
+// PathBetween computes latency and bottleneck bandwidth from one node to
+// another using the given protocol (TCP if proto is empty or unavailable).
+func (n *Network) PathBetween(from, to int, proto string) Path {
+	sa, sb := n.nodes[from].Site, n.nodes[to].Site
+	if sa == sb {
+		lan := n.sites[sa].defaultLAN()
+		if proto != "" {
+			if lc, ok := n.sites[sa].lan(proto); ok {
+				lan = lc
+			}
+		}
+		if from == to {
+			// Loopback: negligible latency, memory-speed copy.
+			return Path{Latency: time.Microsecond, BottleneckBps: 10e9, Proto: "loopback"}
+		}
+		return Path{Latency: lan.Latency, BottleneckBps: minBps(lan.UpBps, lan.DownBps), Proto: lan.Name}
+	}
+	// Inter-site: LAN out, uplink out (up direction), WAN, uplink in
+	// (down direction), LAN in. Always TCP.
+	lanA, lanB := n.sites[sa].defaultLAN(), n.sites[sb].defaultLAN()
+	upA, upB := n.sites[sa].Uplink, n.sites[sb].Uplink
+	lat := lanA.Latency + upA.Latency + interSiteLatency + upB.Latency + lanB.Latency
+	bw := minBps(minBps(lanA.UpBps, upA.UpBps), minBps(upB.DownBps, lanB.DownBps))
+	return Path{Latency: lat, BottleneckBps: bw, InterSite: true, Proto: TCP}
+}
+
+func minBps(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pipeFor returns the serialisation pipe a node's transfer contends on:
+// the site-wide segment pipe for shared-medium LANs, the node's own NIC
+// pipe otherwise.
+func (n *Network) pipeFor(node int, lan LinkClass, proto string) *pipe {
+	var key egressKey
+	if lan.Shared {
+		key = egressKey{node: -1 - n.nodes[node].Site, proto: lan.Name}
+	} else {
+		key = egressKey{node: node, proto: proto}
+	}
+	p := n.egress[key]
+	if p == nil {
+		p = &pipe{}
+		n.egress[key] = p
+	}
+	return p
+}
+
+// Send transmits bytes from one node to another and calls deliver with the
+// message at the computed arrival time. proto selects an intra-site LAN
+// protocol ("" or "tcp" for default). Send returns the delivery time.
+//
+// Send may be called from processes or event callbacks; deliver runs in
+// scheduler context (typically it pushes into a des.Chan inbox).
+func (n *Network) Send(from, to, bytes int, payload any, proto string, deliver func(*Message)) (des.Time, error) {
+	if !n.Reachable(from, to) {
+		return 0, ErrUnreachable{From: from, To: to}
+	}
+	path := n.PathBetween(from, to, proto)
+	now := n.sim.Now()
+	ser := des.Time(float64(bytes) / path.BottleneckBps * float64(time.Second))
+	m := &Message{From: from, To: to, Bytes: bytes, Payload: payload, Proto: path.Proto, SentAt: now}
+	n.stats.Messages++
+	n.stats.Bytes += uint64(bytes)
+	if path.InterSite {
+		n.stats.InterSite++
+	} else {
+		n.stats.IntraSite++
+	}
+	n.inFlight++
+	if n.inFlight > n.stats.MaxInFlight {
+		n.stats.MaxInFlight = n.inFlight
+	}
+	finish := func(at des.Time) {
+		m.DeliverAt = at
+		n.sim.Schedule(at, func() {
+			n.inFlight--
+			deliver(m)
+		})
+	}
+
+	if path.Proto == "loopback" {
+		at := now + ser + path.Latency
+		finish(at)
+		return at, nil
+	}
+	srcSite := n.sites[n.nodes[from].Site]
+	srcLAN, _ := srcSite.lan(proto)
+	_, egressEnd := n.pipeFor(from, srcLAN, path.Proto).reserve(now, ser)
+	arrival := egressEnd + path.Latency
+	dstSite := n.sites[n.nodes[to].Site]
+	dstLAN := dstSite.defaultLAN()
+	if path.InterSite && dstLAN.Shared {
+		// Store-and-forward: the destination site's shared segment is
+		// reserved when the message *arrives* there, in arrival order —
+		// reserving it at send time would punch dead holes into the
+		// segment schedule.
+		n.sim.Schedule(arrival, func() {
+			_, segEnd := n.pipeFor(to, dstLAN, dstLAN.Name).reserve(n.sim.Now(), ser)
+			finish(segEnd)
+		})
+		return arrival + ser, nil // estimate assuming an idle segment
+	}
+	finish(arrival)
+	return arrival, nil
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) StatsSnapshot() Stats { return n.stats }

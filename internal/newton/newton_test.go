@@ -1,0 +1,185 @@
+package newton
+
+import (
+	"math"
+	"testing"
+
+	"aiac/internal/chem"
+	"aiac/internal/gmres"
+)
+
+// quadSystem is a small separable nonlinear system G_i(y) = y_i^2 - a_i = 0
+// with known positive roots sqrt(a_i); its Jacobian is diagonal.
+type quadSystem struct{ a []float64 }
+
+func (q *quadSystem) Dim() int { return len(q.a) }
+func (q *quadSystem) EvalG(dst, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = y[i]*y[i] - q.a[i]
+	}
+}
+func (q *quadSystem) ApplyJ(dst, v, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = 2 * y[i] * v[i]
+	}
+}
+func (q *quadSystem) GFlops(lo, hi int) float64 { return 2 * float64(hi-lo) }
+func (q *quadSystem) JFlops(lo, hi int) float64 { return 2 * float64(hi-lo) }
+
+func TestSolveQuadratic(t *testing.T) {
+	q := &quadSystem{a: []float64{4, 9, 16, 25}}
+	y := []float64{1, 1, 1, 1}
+	iters, flops, err := Solve(q, y, 1e-12, 50, gmres.Params{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4, 5}
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-8 {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+	if iters < 2 || iters > 15 {
+		t.Fatalf("suspicious iteration count %d", iters)
+	}
+	if flops <= 0 {
+		t.Fatal("flops not counted")
+	}
+}
+
+func TestStripSolverConvergesPerStrip(t *testing.T) {
+	// The quadratic system is separable, so strip-local Newton converges
+	// exactly as full Newton on each strip.
+	q := &quadSystem{a: []float64{4, 9, 16, 25, 36, 49}}
+	y := []float64{1, 1, 1, 1, 1, 1}
+	s1 := NewStripSolver(q, 0, 3, gmres.Params{Tol: 1e-12})
+	s2 := NewStripSolver(q, 3, 6, gmres.Params{Tol: 1e-12})
+	for k := 0; k < 20; k++ {
+		r1, _, err := s1.Iterate(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, _, err := s2.Iterate(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 < 1e-13 && r2 < 1e-13 {
+			break
+		}
+	}
+	want := []float64{2, 3, 4, 5, 6, 7}
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-8 {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestBadStripPanics(t *testing.T) {
+	q := &quadSystem{a: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad strip did not panic")
+		}
+	}()
+	NewStripSolver(q, 1, 5, gmres.Params{})
+}
+
+// One implicit-Euler step of the chemical problem solved by full-domain
+// Newton must converge in a few iterations and keep the state physical.
+func TestChemTimeStepFullNewton(t *testing.T) {
+	p := chem.New(10, 10)
+	y0 := p.InitialState()
+	y := make([]float64, len(y0))
+	copy(y, y0)
+	sys := chem.NewEulerSystem(p, y0, 180, 180)
+	iters, _, err := Solve(sys, y, 1e-10, 30, gmres.Params{Tol: 1e-10, Restart: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters > 10 {
+		t.Fatalf("Newton took %d iterations for one time step", iters)
+	}
+	// Verify G(y) ~ 0 by direct evaluation.
+	g := make([]float64, p.N())
+	sys.EvalG(g, y, 0, p.N())
+	for i, v := range g {
+		scale := math.Abs(y[i]) + 1
+		if math.Abs(v)/scale > 1e-6 {
+			t.Fatalf("residual G[%d] = %v too large (y=%v)", i, v, y[i])
+		}
+	}
+}
+
+// Multisplitting: strip-wise Newton with frozen coupling, iterated to
+// convergence, must land on the same solution as full-domain Newton.
+func TestChemMultisplittingMatchesFullNewton(t *testing.T) {
+	p := chem.New(8, 12)
+	y0 := p.InitialState()
+	const h, tEnd = 180.0, 180.0
+
+	// Reference: full Newton.
+	yRef := make([]float64, len(y0))
+	copy(yRef, y0)
+	sysRef := chem.NewEulerSystem(p, y0, h, tEnd)
+	if _, _, err := Solve(sysRef, yRef, 1e-12, 40, gmres.Params{Tol: 1e-12, Restart: 40}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Multisplitting with 3 strips, Gauss-Seidel-style sweeps.
+	yMS := make([]float64, len(y0))
+	copy(yMS, y0)
+	sysMS := chem.NewEulerSystem(p, y0, h, tEnd)
+	bounds := chem.StripPartition(p.NZ, 3)
+	var solvers []*StripSolver
+	for s := 0; s < 3; s++ {
+		lo, hi := p.RowSegment(bounds[s], bounds[s+1])
+		solvers = append(solvers, NewStripSolver(sysMS, lo, hi, gmres.Params{Tol: 1e-12, Restart: 40}))
+	}
+	for k := 0; k < 60; k++ {
+		var worst float64
+		for _, s := range solvers {
+			r, _, err := s.Iterate(yMS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r > worst {
+				worst = r
+			}
+		}
+		if worst < 1e-12 {
+			break
+		}
+	}
+	for i := range yRef {
+		scale := math.Abs(yRef[i]) + 1
+		if math.Abs(yMS[i]-yRef[i])/scale > 1e-7 {
+			t.Fatalf("multisplitting diverges from full Newton at %d: %v vs %v", i, yMS[i], yRef[i])
+		}
+	}
+}
+
+// Several consecutive time steps must keep concentrations finite and
+// essentially non-negative.
+func TestChemMultiStepStability(t *testing.T) {
+	p := chem.New(8, 8)
+	y := p.InitialState()
+	const h = 180.0
+	for step := 1; step <= 6; step++ {
+		yOld := make([]float64, len(y))
+		copy(yOld, y)
+		sys := chem.NewEulerSystem(p, yOld, h, float64(step)*h)
+		if _, _, err := Solve(sys, y, 1e-9, 30, gmres.Params{Tol: 1e-9, Restart: 30}); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("state blew up at %d: %v", i, v)
+		}
+	}
+	m1, m2 := p.TotalMass(y)
+	if m1 <= 0 || m2 <= 0 {
+		t.Fatalf("mass went non-positive: %v %v", m1, m2)
+	}
+}

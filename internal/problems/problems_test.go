@@ -1,0 +1,256 @@
+package problems
+
+import (
+	"math"
+	"testing"
+
+	"aiac/internal/aiac"
+	"aiac/internal/chem"
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+	"aiac/internal/env/madmpi"
+	"aiac/internal/env/mpi"
+	"aiac/internal/env/pm2"
+	"aiac/internal/gmres"
+	"aiac/internal/la"
+	"aiac/internal/netsim"
+	"aiac/internal/newton"
+)
+
+func TestLinearDepsExcludeOwnBlock(t *testing.T) {
+	l := NewLinear(1000, 10, 0.8, 1)
+	bounds := l.PartitionBounds(4)
+	for r := 0; r < 4; r++ {
+		for _, d := range l.DepsFor(r, bounds) {
+			if d.Lo < bounds[r+1] && d.Hi > bounds[r] {
+				t.Fatalf("rank %d dep %+v overlaps own block [%d,%d)", r, d, bounds[r], bounds[r+1])
+			}
+			if d.Lo >= d.Hi || d.Lo < 0 || d.Hi > l.Size() {
+				t.Fatalf("invalid dep %+v", d)
+			}
+		}
+	}
+}
+
+func TestLinearUpdateReducesResidual(t *testing.T) {
+	l := NewLinear(500, 8, 0.7, 2)
+	bounds := l.PartitionBounds(2)
+	x := l.InitialVector()
+	var prev float64 = math.Inf(1)
+	for k := 0; k < 50; k++ {
+		r0, f0 := l.Update(0, bounds, x)
+		r1, _ := l.Update(1, bounds, x)
+		if f0 <= 0 {
+			t.Fatal("no flops charged")
+		}
+		res := math.Max(r0, r1)
+		if k > 5 && res > prev*1.5 {
+			t.Fatalf("residual rising: %v -> %v at iter %d", prev, res, k)
+		}
+		prev = res
+	}
+	if prev > 1e-4 {
+		t.Fatalf("residual after 50 sweeps: %v", prev)
+	}
+}
+
+func TestChemStepDepsAreNeighbourRows(t *testing.T) {
+	p := chem.New(8, 12)
+	y0 := p.InitialState()
+	cs := NewChemStep(p, y0, 180, 180, gmres.Params{})
+	bounds := cs.PartitionBounds(3)
+	// Middle rank depends on exactly two ghost rows.
+	deps := cs.DepsFor(1, bounds)
+	if len(deps) != 2 {
+		t.Fatalf("middle rank deps = %v", deps)
+	}
+	rowBytes := 2 * p.NX
+	for _, d := range deps {
+		if d.Len() != rowBytes {
+			t.Fatalf("dep %+v is not one grid row (%d values)", d, rowBytes)
+		}
+	}
+	// Edge ranks depend on one row only.
+	if len(cs.DepsFor(0, bounds)) != 1 || len(cs.DepsFor(2, bounds)) != 1 {
+		t.Fatal("edge ranks should have exactly one ghost row")
+	}
+}
+
+// The distributed asynchronous chemical solve must match the sequential
+// full-Newton reference.
+func TestChemRunMatchesSequential(t *testing.T) {
+	const nx, nz = 8, 12
+	const h = 180.0
+	const steps = 2
+
+	// Sequential reference.
+	pRef := chem.New(nx, nz)
+	yRef := pRef.InitialState()
+	for s := 1; s <= steps; s++ {
+		yOld := make([]float64, len(yRef))
+		copy(yOld, yRef)
+		sys := chem.NewEulerSystem(pRef, yOld, h, float64(s)*h)
+		if _, _, err := newton.Solve(sys, yRef, 1e-10, 50, gmres.Params{Tol: 1e-10, Restart: 30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Distributed AIAC over 3 ranks.
+	sim := des.New()
+	grid := cluster.Homogeneous(sim, 3, cluster.P4_2400, netsim.Ethernet100)
+	env := pm2.MustNew(grid, pm2.NonLinear, nil)
+	p := chem.New(nx, nz)
+	run := RunChem(grid, env, p, p.InitialState(), h, steps*h,
+		gmres.Params{Tol: 1e-10, Restart: 30},
+		aiac.Config{Mode: aiac.Async, Eps: 1e-9})
+	if !run.AllConverged() {
+		t.Fatalf("not all steps converged: %d steps", len(run.Steps))
+	}
+	if len(run.Steps) != steps {
+		t.Fatalf("steps = %d", len(run.Steps))
+	}
+	for i := range yRef {
+		scale := math.Abs(yRef[i]) + 1
+		if d := math.Abs(run.Y[i]-yRef[i]) / scale; d > 1e-5 {
+			t.Fatalf("distributed result differs at %d: %v vs %v (rel %v)", i, run.Y[i], yRef[i], d)
+		}
+	}
+	if run.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+// Synchronous SISC chem run agrees too (and uses equal iteration counts).
+func TestChemRunSyncMode(t *testing.T) {
+	const nx, nz = 8, 9
+	sim := des.New()
+	grid := cluster.Homogeneous(sim, 3, cluster.P4_1700, netsim.Ethernet100)
+	env := mpi.MustNew(grid, nil)
+	p := chem.New(nx, nz)
+	run := RunChem(grid, env, p, p.InitialState(), 180, 360,
+		gmres.Params{Tol: 1e-10, Restart: 30},
+		aiac.Config{Mode: aiac.Sync, Eps: 1e-9})
+	if !run.AllConverged() {
+		t.Fatal("sync chem run did not converge")
+	}
+	for _, rep := range run.Steps {
+		for r := 1; r < len(rep.ItersPerRank); r++ {
+			if rep.ItersPerRank[r] != rep.ItersPerRank[0] {
+				t.Fatalf("sync iters unequal: %v", rep.ItersPerRank)
+			}
+		}
+	}
+	if chem.MinConcentration(run.Y) < -1e-6 {
+		t.Fatalf("unphysical concentrations: min %v", chem.MinConcentration(run.Y))
+	}
+}
+
+// Async must beat sync for the chemical problem on a distant grid (the
+// Table 3 headline).
+func TestChemAsyncBeatsSyncOnDistantGrid(t *testing.T) {
+	runMode := func(mode aiac.Mode) des.Time {
+		sim := des.New()
+		// The Table 3 configuration (reduced scale): 12 processors over
+		// three distant sites.
+		grid := cluster.ThreeSiteEthernet(sim, 12)
+		var env aiac.Env
+		if mode == aiac.Sync {
+			env = mpi.MustNew(grid, nil)
+		} else {
+			env = madmpi.MustNew(grid, madmpi.NonLinear, nil)
+		}
+		p := chem.New(48, 48)
+		run := RunChem(grid, env, p, p.InitialState(), 180, 360,
+			gmres.Params{Tol: 1e-6, Restart: 30},
+			aiac.Config{Mode: mode, Eps: 1e-6})
+		if !run.AllConverged() {
+			t.Fatalf("%v chem run did not converge", mode)
+		}
+		return run.Elapsed
+	}
+	async := runMode(aiac.Async)
+	sync := runMode(aiac.Sync)
+	if async >= sync {
+		t.Fatalf("async (%v) not faster than sync (%v)", async, sync)
+	}
+}
+
+func TestChemRunAggregates(t *testing.T) {
+	r := &ChemRun{Steps: []*aiac.Report{
+		{ItersPerRank: []int{2, 3}, Reason: aiac.StopConverged},
+		{ItersPerRank: []int{4, 1}, Reason: aiac.StopConverged},
+	}}
+	if r.TotalIters() != 10 {
+		t.Fatal("TotalIters wrong")
+	}
+	if !r.AllConverged() {
+		t.Fatal("AllConverged wrong")
+	}
+	r.Steps[1].Reason = aiac.StopIterCap
+	if r.AllConverged() {
+		t.Fatal("AllConverged should be false with a capped step")
+	}
+}
+
+func TestLinearName(t *testing.T) {
+	l := NewLinear(100, 5, 0.5, 1)
+	if l.Name() == "" || l.Size() != 100 {
+		t.Fatal("bad name/size")
+	}
+	p := chem.New(5, 5)
+	cs := NewChemStep(p, p.InitialState(), 180, 180, gmres.Params{})
+	if cs.Name() == "" || cs.Size() != p.N() {
+		t.Fatal("bad chem name/size")
+	}
+}
+
+func TestWeightedPartition(t *testing.T) {
+	l := NewLinear(1000, 8, 0.7, 5)
+	l.Weights = []float64{0.5, 0.25, 0.25}
+	b := l.PartitionBounds(3)
+	if b[0] != 0 || b[3] != 1000 {
+		t.Fatalf("bounds = %v", b)
+	}
+	if b[1] != 500 || b[2] != 750 {
+		t.Fatalf("weighted bounds = %v, want [0 500 750 1000]", b)
+	}
+	// Mismatched weights panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched weights did not panic")
+		}
+	}()
+	l.Weights = []float64{1}
+	l.PartitionBounds(3)
+}
+
+// Speed-proportional partitioning must beat equal blocks on a
+// heterogeneous grid: the Duron gets a smaller strip, so the critical path
+// shortens (the load-balancing extension of the paper's reference [7]).
+func TestLoadBalancedBeatsEqualBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	run := func(balanced bool) des.Time {
+		sim := des.New()
+		grid := cluster.LocalHeterogeneous(sim, 6)
+		env := pm2.MustNew(grid, pm2.Sparse, nil)
+		prob := NewLinear(30000, 12, 0.85, 17)
+		if balanced {
+			prob.Weights = grid.SpeedWeights()
+		}
+		rep := aiac.Run(grid, env, prob, aiac.Config{Mode: aiac.Async, Eps: 1e-8, MaxIters: 3000000})
+		if rep.Reason != aiac.StopConverged {
+			t.Fatalf("balanced=%v did not converge", balanced)
+		}
+		if d := la.MaxNormDiff(rep.X, prob.XTrue); d > 1e-4 {
+			t.Fatalf("balanced=%v wrong solution: %v", balanced, d)
+		}
+		return rep.Elapsed
+	}
+	equal := run(false)
+	balanced := run(true)
+	if balanced >= equal {
+		t.Fatalf("load balancing did not help: balanced %v vs equal %v", balanced, equal)
+	}
+}

@@ -1,0 +1,288 @@
+// Package realrt runs AIAC solves on the real Go runtime — goroutines,
+// channels, and sync.Mutex in wall-clock time — instead of the simulator.
+//
+// The paper's §6 lists the features a programming environment needs for
+// efficient AIAC implementations: a communication system with blocking
+// point-to-point primitives, a multi-threaded runtime with a *fair*
+// scheduler, receptions handled in threads activated on demand, and a mutex
+// system. Go provides every item natively:
+//
+//   - goroutines are cheap threads with a fair runtime scheduler;
+//   - a one-buffered channel plus a select/default send is exactly the
+//     paper's "send only if the previous send has terminated" policy;
+//   - a receiver goroutine per dependency channel is "receiving threads
+//     created on demand";
+//   - sync.Mutex protects the shared iterate between computation and
+//     receipt, the paper's last requirement.
+//
+// This backend exists to validate the engine semantics against a real
+// concurrent execution (same Problem interface, same convergence protocol)
+// and as the repository's demonstration that the AIAC model maps naturally
+// onto Go.
+package realrt
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"aiac/internal/aiac"
+)
+
+// Config tunes a wall-clock solve.
+type Config struct {
+	// Eps is the local convergence threshold.
+	Eps float64
+	// PersistIters is the consecutive-iteration persistence requirement.
+	PersistIters int
+	// MaxIters bounds each worker's iterations.
+	MaxIters int
+	// Workers is the number of concurrent workers (ranks).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eps <= 0 {
+		c.Eps = 1e-8
+	}
+	if c.PersistIters <= 0 {
+		c.PersistIters = 3
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 1000000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	return c
+}
+
+// Result reports a wall-clock solve.
+type Result struct {
+	Elapsed      time.Duration
+	X            []float64
+	ItersPerRank []int
+	Converged    bool
+}
+
+// dataMsg is one block update on the wire.
+type dataMsg struct {
+	key    int
+	lo     int
+	values []float64
+}
+
+// stateMsg is a convergence report to the coordinator.
+type stateMsg struct {
+	from      int
+	converged bool
+}
+
+// Solve runs prob asynchronously on cfg.Workers goroutines and returns the
+// assembled solution. It is the AIAC scheme of §4.3 verbatim: per-iteration
+// try-sends over one-buffered channels, receiver goroutines incorporating
+// data under a mutex, centralized convergence detection on worker 0 with
+// two-phase confirmation, and a stop broadcast.
+func Solve(prob aiac.Problem, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	n := cfg.Workers
+	bounds := prob.PartitionBounds(n)
+	plan := aiac.BuildSendPlan(prob, bounds)
+	x0 := prob.InitialVector()
+
+	// One buffered channel per (destination, segment) plan key: a full
+	// buffer means the previous send is still in progress, so the
+	// select/default send skips — the paper's policy.
+	chans := make(map[int]chan dataMsg)
+	for _, targets := range plan.Targets {
+		for _, tg := range targets {
+			chans[tg.Key] = make(chan dataMsg, 1)
+		}
+	}
+	// Which channels feed each rank.
+	feeds := make([][]int, n)
+	for _, targets := range plan.Targets {
+		for _, tg := range targets {
+			feeds[tg.To] = append(feeds[tg.To], tg.Key)
+		}
+	}
+
+	states := make(chan stateMsg, 16*n)
+	stop := make(chan struct{})
+
+	// Per-rank working state.
+	xs := make([][]float64, n)
+	mus := make([]sync.Mutex, n)
+	fresh := make([]map[int]int, n) // key -> receipt counter
+	for r := 0; r < n; r++ {
+		xs[r] = make([]float64, len(x0))
+		copy(xs[r], x0)
+		fresh[r] = make(map[int]int, len(feeds[r]))
+	}
+
+	var wg sync.WaitGroup
+	iters := make([]int, n)
+	start := time.Now()
+
+	// Receiver goroutines: one per dependency channel, activated on
+	// demand by the runtime when data arrives (§6).
+	var recvWG sync.WaitGroup
+	for r := 0; r < n; r++ {
+		for _, key := range feeds[r] {
+			r, key := r, key
+			recvWG.Add(1)
+			go func() {
+				defer recvWG.Done()
+				ch := chans[key]
+				for {
+					select {
+					case <-stop:
+						return
+					case m := <-ch:
+						mus[r].Lock()
+						copy(xs[r][m.lo:m.lo+len(m.values)], m.values)
+						fresh[r][m.key]++
+						mus[r].Unlock()
+					}
+				}
+			}()
+		}
+	}
+
+	// Coordinator on worker 0's behalf: centralized detection.
+	converged := make([]bool, n)
+	convCount := 0
+	coordDone := make(chan bool, 1)
+	go func() {
+		for st := range states {
+			if converged[st.from] == st.converged {
+				continue
+			}
+			converged[st.from] = st.converged
+			if st.converged {
+				convCount++
+			} else {
+				convCount--
+			}
+			if convCount == n {
+				close(stop)
+				coordDone <- true
+				return
+			}
+		}
+		coordDone <- false
+	}()
+
+	// Workers.
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			streak := 0
+			phase := 0 // 0 unconverged, 1 converged-unconfirmed, 2 confirmed
+			var seenAtConv map[int]int
+			for iter := 0; iter < cfg.MaxIters; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				iters[r]++
+				mus[r].Lock()
+				res, _ := prob.Update(r, bounds, xs[r])
+				// Snapshot outgoing segments under the lock.
+				outs := make([]dataMsg, 0, len(plan.Targets[r]))
+				for _, tg := range plan.Targets[r] {
+					vals := make([]float64, tg.Seg.Len())
+					copy(vals, xs[r][tg.Seg.Lo:tg.Seg.Hi])
+					outs = append(outs, dataMsg{key: tg.Key, lo: tg.Seg.Lo, values: vals})
+				}
+				heardAll := len(fresh[r]) == len(feeds[r])
+				snapshot := make(map[int]int, len(fresh[r]))
+				for k, v := range fresh[r] {
+					snapshot[k] = v
+				}
+				mus[r].Unlock()
+
+				for _, m := range outs {
+					select {
+					case chans[m.key] <- m:
+					default: // previous send still in progress: skip
+					}
+				}
+
+				if res < cfg.Eps {
+					streak++
+				} else {
+					streak = 0
+				}
+				conv := streak >= cfg.PersistIters && heardAll
+				switch {
+				case !conv:
+					if phase == 2 {
+						sendState(states, stop, stateMsg{from: r, converged: false})
+					}
+					phase = 0
+				case phase == 0:
+					phase = 1
+					seenAtConv = snapshot
+				case phase == 1 && allFresher(snapshot, seenAtConv, len(feeds[r])):
+					phase = 2
+					sendState(states, stop, stateMsg{from: r, converged: true})
+				}
+				// Yield so receiver goroutines and the coordinator get
+				// scheduled promptly even with GOMAXPROCS < workers —
+				// the cooperative-fairness discipline of the paper's
+				// user-level thread packages.
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	wg.Wait()
+	select {
+	case <-stop:
+	default:
+		// Iteration caps hit without global convergence.
+		close(stop)
+	}
+	close(states)
+	ok := <-coordDone
+	recvWG.Wait()
+
+	res := &Result{
+		Elapsed:      time.Since(start),
+		X:            make([]float64, len(x0)),
+		ItersPerRank: iters,
+		Converged:    ok,
+	}
+	for r := 0; r < n; r++ {
+		mus[r].Lock()
+		copy(res.X[bounds[r]:bounds[r+1]], xs[r][bounds[r]:bounds[r+1]])
+		mus[r].Unlock()
+	}
+	return res
+}
+
+// sendState delivers a state message unless the solve is already stopping.
+func sendState(states chan stateMsg, stop chan struct{}, m stateMsg) {
+	select {
+	case states <- m:
+	case <-stop:
+	}
+}
+
+// allFresher reports whether every one of the nFeeds channels has delivered
+// at least one message beyond the baseline snapshot.
+func allFresher(now, baseline map[int]int, nFeeds int) bool {
+	if len(now) < nFeeds {
+		return false
+	}
+	for k, v := range now {
+		if v <= baseline[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+package realrt
+
+import (
+	"math"
+	"testing"
+
+	"aiac/internal/chem"
+	"aiac/internal/gmres"
+	"aiac/internal/la"
+	"aiac/internal/newton"
+	"aiac/internal/problems"
+)
+
+func TestSolveLinearConvergesToTruth(t *testing.T) {
+	prob := problems.NewLinear(4000, 10, 0.7, 1)
+	res := Solve(prob, Config{Eps: 1e-9, Workers: 4})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if d := la.MaxNormDiff(res.X, prob.XTrue); d > 1e-5 {
+		t.Fatalf("solution error %v", d)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no time measured")
+	}
+	total := 0
+	for _, n := range res.ItersPerRank {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestSolveManyWorkers(t *testing.T) {
+	prob := problems.NewLinear(6000, 12, 0.75, 2)
+	res := Solve(prob, Config{Eps: 1e-8, Workers: 8})
+	if !res.Converged {
+		t.Fatal("did not converge with 8 workers")
+	}
+	if d := la.MaxNormDiff(res.X, prob.XTrue); d > 1e-4 {
+		t.Fatalf("solution error %v", d)
+	}
+}
+
+func TestSolveSingleWorkerDegenerates(t *testing.T) {
+	// One worker has no dependencies: plain sequential iteration.
+	prob := problems.NewLinear(1000, 8, 0.6, 3)
+	res := Solve(prob, Config{Eps: 1e-10, Workers: 1})
+	if !res.Converged {
+		t.Fatal("single worker did not converge")
+	}
+	if d := la.MaxNormDiff(res.X, prob.XTrue); d > 1e-7 {
+		t.Fatalf("solution error %v", d)
+	}
+}
+
+func TestSolveIterationCap(t *testing.T) {
+	prob := problems.NewLinear(1000, 8, 0.9, 4)
+	res := Solve(prob, Config{Eps: 1e-300, Workers: 3, MaxIters: 100})
+	if res.Converged {
+		t.Fatal("impossible tolerance reported converged")
+	}
+	for r, n := range res.ItersPerRank {
+		if n > 100 {
+			t.Fatalf("rank %d exceeded cap: %d", r, n)
+		}
+	}
+}
+
+// The wall-clock backend must agree with the sequential reference on the
+// chemical problem's first time step.
+func TestSolveChemStep(t *testing.T) {
+	p := chem.New(8, 9)
+	y0 := p.InitialState()
+
+	yRef := make([]float64, len(y0))
+	copy(yRef, y0)
+	sys := chem.NewEulerSystem(p, y0, 180, 180)
+	if _, _, err := newton.Solve(sys, yRef, 1e-10, 40, gmres.Params{Tol: 1e-10, Restart: 30}); err != nil {
+		t.Fatal(err)
+	}
+
+	prob := problems.NewChemStep(p, y0, 180, 180, gmres.Params{Tol: 1e-10, Restart: 30})
+	res := Solve(prob, Config{Eps: 1e-9, Workers: 3})
+	if !res.Converged {
+		t.Fatal("chem step did not converge")
+	}
+	for i := range yRef {
+		scale := math.Abs(yRef[i]) + 1
+		if math.Abs(res.X[i]-yRef[i])/scale > 1e-5 {
+			t.Fatalf("wall-clock result differs at %d: %v vs %v", i, res.X[i], yRef[i])
+		}
+	}
+}

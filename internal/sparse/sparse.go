@@ -1,0 +1,342 @@
+// Package sparse implements the banded (diagonal-storage) sparse matrices
+// of the paper's first test problem: a square sparse matrix whose non-zero
+// values sit on the main diagonal plus a fixed number of sub-diagonals
+// (Table 1: 30 sub-diagonals on a 2,000,000² matrix), constructed so the
+// Jacobi/fixed-step-gradient iteration matrix has spectral radius below one
+// (§5.1: "the sparse matrix is designed to have a spectral radius less than
+// one").
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DIA is a sparse matrix in diagonal storage: for each stored offset o,
+// Diag[k][i] holds A[i][i+o] (zero where i+o falls outside the matrix).
+// Offsets[0] is always 0 (the main diagonal).
+type DIA struct {
+	N       int
+	Offsets []int
+	Diags   [][]float64
+}
+
+// NewSystem generates the paper's test system: an n×n matrix with the main
+// diagonal plus numDiags off-diagonals whose offsets are spread over the
+// full bandwidth of the matrix (so that, once rows are distributed over
+// processors, the dependency graph is all-to-all, matching §5.1's "the
+// communication scheme is all to all according to data dependencies").
+//
+// The matrix is made strictly diagonally dominant with dominance ratio rho
+// (< 1): sum_j != i |a_ij| = rho * |a_ii|, which bounds the spectral radius
+// of the Jacobi iteration matrix by rho and guarantees convergence of both
+// the synchronous and the asynchronous iterations (El Tarazi's condition).
+// The right-hand side is chosen so the exact solution is known
+// (x*_i = 1 + i mod 3), letting tests verify convergence to the true
+// solution, not merely stagnation.
+func NewSystem(n, numDiags int, rho float64, seed int64) (*DIA, []float64, []float64) {
+	if n < 2 || numDiags < 1 || numDiags >= n {
+		panic(fmt.Sprintf("sparse: bad system shape n=%d numDiags=%d", n, numDiags))
+	}
+	if rho <= 0 || rho >= 1 {
+		panic("sparse: dominance ratio must be in (0,1)")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	offsets := spreadOffsets(n, numDiags, rng)
+	a := &DIA{N: n, Offsets: append([]int{0}, offsets...)}
+	a.Diags = make([][]float64, len(a.Offsets))
+	for k := range a.Diags {
+		a.Diags[k] = make([]float64, n)
+	}
+	// Random off-diagonal values in [0.5, 1.5), alternating sign.
+	for k := 1; k < len(a.Offsets); k++ {
+		o := a.Offsets[k]
+		sign := 1.0
+		if k%2 == 0 {
+			sign = -1
+		}
+		for i := 0; i < n; i++ {
+			j := i + o
+			if j < 0 || j >= n {
+				continue
+			}
+			a.Diags[k][i] = sign * (0.5 + rng.Float64())
+		}
+	}
+	// Diagonal: row sum of |off-diagonals| divided by rho.
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for k := 1; k < len(a.Offsets); k++ {
+			rowSum += math.Abs(a.Diags[k][i])
+		}
+		if rowSum == 0 {
+			rowSum = 1 // isolated row: keep the diagonal well-scaled
+		}
+		a.Diags[0][i] = rowSum / rho
+	}
+	// b = A * x_true.
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = float64(1 + i%3)
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xTrue)
+	return a, b, xTrue
+}
+
+// spreadOffsets picks numDiags distinct non-zero offsets covering both
+// sides of the diagonal and reaching across the matrix width, so a row
+// block owned by one processor depends on most other blocks.
+func spreadOffsets(n, numDiags int, rng *rand.Rand) []int {
+	seen := map[int]bool{0: true}
+	var offs []int
+	// Half the offsets on a deterministic spread, half random, alternating
+	// sign: this keeps the dependency pattern reproducible per seed while
+	// covering the full width.
+	for len(offs) < numDiags {
+		var o int
+		switch len(offs) % 2 {
+		case 0: // deterministic spread across the width
+			step := (n - 1) / (numDiags + 1)
+			if step == 0 {
+				step = 1
+			}
+			o = (len(offs)/2 + 1) * step
+			if len(offs)%4 == 2 {
+				o = -o
+			}
+		default: // random
+			o = 1 + rng.Intn(n-1)
+			if rng.Intn(2) == 0 {
+				o = -o
+			}
+		}
+		for seen[o] {
+			o++
+			if o >= n {
+				o = -(n - 1)
+			}
+			if o == 0 {
+				o = 1
+			}
+		}
+		seen[o] = true
+		offs = append(offs, o)
+	}
+	return offs
+}
+
+// NNZ returns the number of stored non-zero positions.
+func (a *DIA) NNZ() int {
+	nnz := 0
+	for k, o := range a.Offsets {
+		_ = k
+		l := a.N - abs(o)
+		if l > 0 {
+			nnz += l
+		}
+	}
+	return nnz
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MulVec computes dst = A*x. Flops: ~2*NNZ.
+func (a *DIA) MulVec(dst, x []float64) {
+	if len(dst) != a.N || len(x) != a.N {
+		panic("sparse: dimension mismatch in MulVec")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for k, o := range a.Offsets {
+		d := a.Diags[k]
+		lo, hi := 0, a.N
+		if o > 0 {
+			hi = a.N - o
+		} else {
+			lo = -o
+		}
+		for i := lo; i < hi; i++ {
+			dst[i] += d[i] * x[i+o]
+		}
+	}
+}
+
+// RowRangeMulVec computes dst[i-lo] = (A*x)_i for i in [lo,hi), reading x
+// at the columns the band touches. Flops: ~2 * nnz(rows lo..hi).
+func (a *DIA) RowRangeMulVec(lo, hi int, dst, x []float64) {
+	if lo < 0 || hi > a.N || lo > hi {
+		panic("sparse: bad row range")
+	}
+	if len(dst) < hi-lo || len(x) != a.N {
+		panic("sparse: dimension mismatch in RowRangeMulVec")
+	}
+	for i := range dst[:hi-lo] {
+		dst[i] = 0
+	}
+	for k, o := range a.Offsets {
+		d := a.Diags[k]
+		rlo, rhi := lo, hi
+		if o > 0 && rhi > a.N-o {
+			rhi = a.N - o
+		}
+		if o < 0 && rlo < -o {
+			rlo = -o
+		}
+		for i := rlo; i < rhi; i++ {
+			dst[i-lo] += d[i] * x[i+o]
+		}
+	}
+}
+
+// GradientStep performs one fixed-step gradient-descent update (Equ. 4 of
+// the paper) on rows [lo,hi):
+//
+//	x_i <- x_i + gamma * (b_i - (A x)_i) / a_ii
+//
+// reading whatever values x currently holds outside [lo,hi) (asynchronous
+// semantics: stale ghost data is used as-is). It writes the new values into
+// x[lo:hi), returns the max-norm of the change (the local residual of
+// Equ. 6) and the flop count. scratch must have at least hi-lo capacity.
+func (a *DIA) GradientStep(lo, hi int, gamma float64, x, b, scratch []float64) (residual, flops float64) {
+	ax := scratch[:hi-lo]
+	a.RowRangeMulVec(lo, hi, ax, x)
+	var maxd float64
+	for i := lo; i < hi; i++ {
+		nv := x[i] + gamma*(b[i]-ax[i-lo])/a.Diags[0][i]
+		if d := math.Abs(nv - x[i]); d > maxd {
+			maxd = d
+		}
+		x[i] = nv
+	}
+	rows := float64(hi - lo)
+	flops = 2*float64(a.rowNNZ())*rows + 5*rows
+	return maxd, flops
+}
+
+// rowNNZ returns the nominal non-zeros per row (band count), used for flop
+// estimates.
+func (a *DIA) rowNNZ() int { return len(a.Offsets) }
+
+// Segment is a half-open index interval [Lo,Hi) of the global vector.
+type Segment struct{ Lo, Hi int }
+
+// Len returns the segment length.
+func (s Segment) Len() int { return s.Hi - s.Lo }
+
+// ColumnsTouched returns the set of global column intervals read when
+// computing rows [lo,hi), merged and clipped to [0,n). This drives the
+// dependency lists of §4.3 ("each processor needs to construct the list of
+// its data dependencies from other processors").
+func (a *DIA) ColumnsTouched(lo, hi int) []Segment {
+	var segs []Segment
+	for _, o := range a.Offsets {
+		clo, chi := lo+o, hi+o
+		if clo < 0 {
+			clo = 0
+		}
+		if chi > a.N {
+			chi = a.N
+		}
+		if clo < chi {
+			segs = append(segs, Segment{clo, chi})
+		}
+	}
+	return MergeSegments(segs)
+}
+
+// MergeSegments sorts and merges overlapping/adjacent segments.
+func MergeSegments(segs []Segment) []Segment {
+	if len(segs) == 0 {
+		return nil
+	}
+	sorted := make([]Segment, len(segs))
+	copy(sorted, segs)
+	// Insertion sort: segment lists are short (≤ band count).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Lo < sorted[j-1].Lo; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := sorted[:1]
+	for _, s := range sorted[1:] {
+		last := &out[len(out)-1]
+		if s.Lo <= last.Hi {
+			if s.Hi > last.Hi {
+				last.Hi = s.Hi
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Partition splits n rows into nparts near-equal contiguous blocks and
+// returns the nparts+1 boundaries.
+func Partition(n, nparts int) []int {
+	if nparts < 1 || n < nparts {
+		panic(fmt.Sprintf("sparse: cannot partition %d rows into %d parts", n, nparts))
+	}
+	bounds := make([]int, nparts+1)
+	for i := 0; i <= nparts; i++ {
+		bounds[i] = i * n / nparts
+	}
+	return bounds
+}
+
+// OwnerOf returns the part owning global index i under bounds.
+func OwnerOf(bounds []int, i int) int {
+	lo, hi := 0, len(bounds)-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if bounds[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// JacobiSpectralBound returns max_i sum_{j!=i} |a_ij| / |a_ii|, an upper
+// bound on the spectral radius of the Jacobi iteration matrix.
+func (a *DIA) JacobiSpectralBound() float64 {
+	var worst float64
+	for i := 0; i < a.N; i++ {
+		var off float64
+		for k := 1; k < len(a.Offsets); k++ {
+			o := a.Offsets[k]
+			if j := i + o; j >= 0 && j < a.N {
+				off += math.Abs(a.Diags[k][i])
+			}
+		}
+		if r := off / math.Abs(a.Diags[0][i]); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Dense returns the dense form of the matrix. For tests on tiny systems.
+func (a *DIA) Dense() [][]float64 {
+	m := make([][]float64, a.N)
+	for i := range m {
+		m[i] = make([]float64, a.N)
+	}
+	for k, o := range a.Offsets {
+		for i := 0; i < a.N; i++ {
+			if j := i + o; j >= 0 && j < a.N {
+				m[i][j] = a.Diags[k][i]
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,179 @@
+// Package trace records execution-flow traces of the iterative solvers:
+// per-processor compute/idle spans and inter-processor messages. Rendering
+// them as an ASCII Gantt chart reproduces the paper's Figures 1 and 2 (the
+// execution flow of a SISC algorithm, with idle gaps between iterations,
+// versus an AIAC algorithm with none).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"aiac/internal/des"
+)
+
+// Kind classifies a span.
+type Kind int
+
+const (
+	// Compute is time spent iterating.
+	Compute Kind = iota
+	// Idle is time spent blocked waiting for communications (the white
+	// spaces of Figure 1).
+	Idle
+)
+
+// Span is one activity interval of one processor.
+type Span struct {
+	Rank       int
+	Start, End des.Time
+	Kind       Kind
+	Iter       int
+}
+
+// Msg is one data communication.
+type Msg struct {
+	From, To   int
+	Sent, Recv des.Time
+}
+
+// Collector accumulates spans and messages. A nil *Collector is valid and
+// records nothing, so instrumented code never needs nil checks.
+type Collector struct {
+	Spans []Span
+	Msgs  []Msg
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// AddSpan records an activity interval. No-op on a nil collector or an
+// empty interval.
+func (c *Collector) AddSpan(rank int, start, end des.Time, kind Kind, iter int) {
+	if c == nil || end <= start {
+		return
+	}
+	c.Spans = append(c.Spans, Span{Rank: rank, Start: start, End: end, Kind: kind, Iter: iter})
+}
+
+// AddMsg records a delivered data message. No-op on nil.
+func (c *Collector) AddMsg(from, to int, sent, recv des.Time) {
+	if c == nil {
+		return
+	}
+	c.Msgs = append(c.Msgs, Msg{From: from, To: to, Sent: sent, Recv: recv})
+}
+
+// Horizon returns the last span end time.
+func (c *Collector) Horizon() des.Time {
+	var h des.Time
+	for _, s := range c.Spans {
+		if s.End > h {
+			h = s.End
+		}
+	}
+	return h
+}
+
+// ranks returns the highest rank seen plus one.
+func (c *Collector) ranks() int {
+	n := 0
+	for _, s := range c.Spans {
+		if s.Rank+1 > n {
+			n = s.Rank + 1
+		}
+	}
+	for _, m := range c.Msgs {
+		if m.From+1 > n {
+			n = m.From + 1
+		}
+		if m.To+1 > n {
+			n = m.To + 1
+		}
+	}
+	return n
+}
+
+// BusyIdle returns the total compute and idle time recorded for a rank.
+func (c *Collector) BusyIdle(rank int) (busy, idle des.Time) {
+	for _, s := range c.Spans {
+		if s.Rank != rank {
+			continue
+		}
+		if s.Kind == Compute {
+			busy += s.End - s.Start
+		} else {
+			idle += s.End - s.Start
+		}
+	}
+	return
+}
+
+// IdleFraction returns idle/(busy+idle) for a rank, the quantitative form
+// of Figures 1 vs 2.
+func (c *Collector) IdleFraction(rank int) float64 {
+	busy, idle := c.BusyIdle(rank)
+	total := busy + idle
+	if total == 0 {
+		return 0
+	}
+	return float64(idle) / float64(total)
+}
+
+// MeanIdleFraction averages IdleFraction over all ranks.
+func (c *Collector) MeanIdleFraction() float64 {
+	n := c.ranks()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for r := 0; r < n; r++ {
+		sum += c.IdleFraction(r)
+	}
+	return sum / float64(n)
+}
+
+// Gantt renders the trace as an ASCII chart of the given width: one row per
+// processor, '█' for compute, '·' for idle, ' ' for not yet started /
+// finished. Messages are summarised below the chart.
+func (c *Collector) Gantt(width int) string {
+	if c == nil || len(c.Spans) == 0 {
+		return "(empty trace)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	horizon := c.Horizon()
+	if horizon == 0 {
+		return "(empty trace)\n"
+	}
+	n := c.ranks()
+	scale := func(t des.Time) int {
+		col := int(int64(t) * int64(width) / int64(horizon))
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+	rows := make([][]byte, n)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.Spans {
+		ch := byte('#')
+		if s.Kind == Idle {
+			ch = '.'
+		}
+		for col := scale(s.Start); col <= scale(s.End-1) && col < width; col++ {
+			rows[s.Rank][col] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: 0 .. %v   ('#' compute, '.' idle)\n", horizon)
+	for r := 0; r < n; r++ {
+		busy, idle := c.BusyIdle(r)
+		fmt.Fprintf(&b, "P%-2d |%s| busy %v idle %v\n", r, rows[r], busy.Round(des.Time(1e6)), idle.Round(des.Time(1e6)))
+	}
+	fmt.Fprintf(&b, "%d messages delivered\n", len(c.Msgs))
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aiac/internal/des"
+)
+
+func ms(n int) des.Time { return des.Time(n) * time.Millisecond }
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.AddSpan(0, 0, ms(1), Compute, 0)
+	c.AddMsg(0, 1, 0, ms(1))
+	if got := c.Gantt(40); !strings.Contains(got, "empty") {
+		t.Fatalf("nil gantt = %q", got)
+	}
+}
+
+func TestBusyIdleAccounting(t *testing.T) {
+	c := New()
+	c.AddSpan(0, 0, ms(10), Compute, 0)
+	c.AddSpan(0, ms(10), ms(15), Idle, 0)
+	c.AddSpan(0, ms(15), ms(25), Compute, 1)
+	c.AddSpan(1, 0, ms(25), Compute, 0)
+	busy, idle := c.BusyIdle(0)
+	if busy != ms(20) || idle != ms(5) {
+		t.Fatalf("busy=%v idle=%v", busy, idle)
+	}
+	if f := c.IdleFraction(0); f < 0.19 || f > 0.21 {
+		t.Fatalf("idle fraction = %v, want 0.2", f)
+	}
+	if f := c.IdleFraction(1); f != 0 {
+		t.Fatalf("rank 1 idle fraction = %v", f)
+	}
+	mean := c.MeanIdleFraction()
+	if mean < 0.09 || mean > 0.11 {
+		t.Fatalf("mean idle = %v, want 0.1", mean)
+	}
+}
+
+func TestEmptySpanIgnored(t *testing.T) {
+	c := New()
+	c.AddSpan(0, ms(5), ms(5), Compute, 0)
+	c.AddSpan(0, ms(7), ms(3), Compute, 0)
+	if len(c.Spans) != 0 {
+		t.Fatalf("empty spans recorded: %v", c.Spans)
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	c := New()
+	c.AddSpan(0, 0, ms(10), Compute, 0)
+	c.AddSpan(1, ms(5), ms(30), Compute, 0)
+	if c.Horizon() != ms(30) {
+		t.Fatalf("horizon = %v", c.Horizon())
+	}
+}
+
+func TestGanttRendersRows(t *testing.T) {
+	c := New()
+	c.AddSpan(0, 0, ms(50), Compute, 0)
+	c.AddSpan(0, ms(50), ms(100), Idle, 0)
+	c.AddSpan(1, 0, ms(100), Compute, 0)
+	c.AddMsg(0, 1, ms(10), ms(20))
+	g := c.Gantt(40)
+	if !strings.Contains(g, "P0 ") || !strings.Contains(g, "P1 ") {
+		t.Fatalf("gantt missing rows:\n%s", g)
+	}
+	if !strings.Contains(g, "#") || !strings.Contains(g, ".") {
+		t.Fatalf("gantt missing glyphs:\n%s", g)
+	}
+	if !strings.Contains(g, "1 messages") {
+		t.Fatalf("gantt missing message count:\n%s", g)
+	}
+	// Rank 0's row must contain idle dots, rank 1's must not.
+	lines := strings.Split(g, "\n")
+	var p0, p1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "P0 ") {
+			p0 = l
+		}
+		if strings.HasPrefix(l, "P1 ") {
+			p1 = l
+		}
+	}
+	if !strings.Contains(p0, ".") {
+		t.Fatalf("P0 row has no idle: %s", p0)
+	}
+	if strings.Contains(p1, ".") {
+		t.Fatalf("P1 row shows idle: %s", p1)
+	}
+}
+
+func TestGanttTinyWidthClamped(t *testing.T) {
+	c := New()
+	c.AddSpan(0, 0, ms(10), Compute, 0)
+	if g := c.Gantt(1); g == "" {
+		t.Fatal("empty gantt")
+	}
+}
