@@ -1,47 +1,193 @@
-// Command aiacbench regenerates the tables and figures of the paper's
-// evaluation section on the simulated grids.
+// Command aiacbench sweeps the paper's experiment matrix — environment ×
+// mode × grid × problem × procs × size — across a bounded pool of
+// concurrent simulations, prints the comparison tables, and persists the
+// results as JSON so later runs can be diffed against them.
 //
-// Usage:
+// Matrix mode (the default):
 //
-//	aiacbench -table 1        # experiment parameters
-//	aiacbench -table 2        # sparse linear problem comparison
-//	aiacbench -table 3        # non-linear problem comparison
-//	aiacbench -table 4        # per-environment thread policies
-//	aiacbench -figure 3       # scalability sweep
-//	aiacbench -all            # everything
+//	aiacbench -workers 8                      # full env×mode×grid sweep, sparse linear problem
+//	aiacbench -env pm2,mpi -grid adsl         # filter any axis
+//	aiacbench -problem chem -procs 8,12       # non-linear problem, two procs counts
+//	aiacbench -reps 3                         # median/min over three repetitions
+//	aiacbench -o BENCH_pr42.json              # choose the results file
+//	aiacbench -baseline BENCH_baseline.json   # print per-cell deltas vs a saved run
+//
+// Paper-table mode regenerates the evaluation section's tables and figures
+// verbatim (see internal/bench):
+//
+//	aiacbench -table 2        # sparse linear comparison (Table 2)
+//	aiacbench -table 3        # non-linear comparison (Table 3)
+//	aiacbench -all            # every table and figure
 //	aiacbench -all -paper     # at the paper's full problem sizes (slow)
-//	aiacbench -all -procs 24  # override the processor count
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"aiac/internal/bench"
+	"aiac/internal/matrix"
+	"aiac/internal/report"
 )
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate table 1, 2, 3 or 4")
-		figure = flag.Int("figure", 0, "regenerate figure 3")
-		all    = flag.Bool("all", false, "regenerate every table and figure")
+		// Matrix-mode flags.
+		envF     = flag.String("env", "", "environment filter (csv of mpi, pm2, madmpi, omniorb; empty = all)")
+		modeF    = flag.String("mode", "", "mode filter (csv of sync, async; empty = both)")
+		gridF    = flag.String("grid", "", "grid filter (csv of 3site, adsl, local, multiproto; empty = the paper's three measurement grids)")
+		problemF = flag.String("problem", "", "problem filter (csv of linear, chem; empty = linear)")
+		procsF   = flag.String("procs", "", "processor counts (csv; empty = 8)")
+		sizesF   = flag.String("n", "", "problem sizes (csv; empty = per-problem default)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "cells simulated concurrently")
+		reps     = flag.Int("reps", 1, "repetitions per cell (median/min aggregation)")
+		outFile  = flag.String("o", "BENCH_latest.json", "results file to write (empty = don't persist)")
+		baseline = flag.String("baseline", "", "saved results file to diff this run against")
+
+		// Paper-table mode flags.
+		table  = flag.Int("table", 0, "regenerate paper table 1, 2, 3 or 4 instead of sweeping")
+		figure = flag.Int("figure", 0, "regenerate paper figure 3 instead of sweeping")
+		all    = flag.Bool("all", false, "regenerate every paper table and figure")
 		paper  = flag.Bool("paper", false, "use the paper's full problem sizes (hours)")
-		procs  = flag.Int("procs", 0, "override the processor count of tables 2-3")
 	)
 	flag.Parse()
 
+	// The two modes share only -procs; reject flags from the other mode
+	// instead of silently ignoring them.
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *table != 0 || *figure != 0 || *all {
+		for _, name := range []string{"env", "mode", "grid", "problem", "n", "reps", "workers", "o", "baseline"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "-%s is a matrix-sweep flag; it has no effect with -table/-figure/-all\n", name)
+				os.Exit(2)
+			}
+		}
+		paperTables(*table, *figure, *all, *paper, *procsF)
+		return
+	}
+	if explicit["paper"] {
+		fmt.Fprintln(os.Stderr, "-paper selects the paper's table sizes and needs -table, -figure or -all; for a bigger sweep use -n/-procs")
+		os.Exit(2)
+	}
+
+	spec, err := buildSpec(*envF, *modeF, *gridF, *problemF, *procsF, *sizesF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Load the baseline before sweeping so a bad path fails in
+	// milliseconds, not after minutes of simulation.
+	var base *report.Set
+	if *baseline != "" {
+		if base, err = report.ReadFile(*baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	cells := spec.Cells()
+	if len(cells) == 0 {
+		fmt.Fprintln(os.Stderr, "the filters select no runnable cells (note: async×mpi is unsupported)")
+		os.Exit(2)
+	}
+	fmt.Printf("sweeping %d cells with %d workers, %d rep(s) per cell\n\n", len(cells), *workers, *reps)
+
+	done := 0
+	start := time.Now()
+	set, err := matrix.Run(spec, matrix.Options{
+		Workers: *workers,
+		Reps:    *reps,
+		OnResult: func(r report.Result) {
+			done++
+			status := fmt.Sprintf("%12s  iters=%d", report.FmtSec(r.TimeSec), r.Iters)
+			if r.Error != "" {
+				status = "error: " + r.Error
+			}
+			fmt.Printf("[%3d/%d] %-44s %s\n", done, len(cells), r.Key(), status)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	set.CreatedAt = start.UTC().Format(time.RFC3339)
+	set.Command = strings.Join(os.Args, " ")
+
+	fmt.Printf("\nswept %d cells in %v (host time)\n\n", len(cells), time.Since(start).Round(time.Millisecond))
+	fmt.Print(set.Table())
+	if sc := set.ScalingTable(); sc != "" {
+		fmt.Print(sc)
+	}
+
+	if *outFile != "" {
+		if err := report.WriteFile(*outFile, set); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *outFile, err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *outFile)
+	}
+	if base != nil {
+		fmt.Println()
+		fmt.Print(report.Diff(base, set))
+	}
+}
+
+// buildSpec assembles the sweep spec from the axis filters.
+func buildSpec(env, mode, grid, problem, procs, sizes string) (matrix.Spec, error) {
+	spec := matrix.DefaultSpec()
+	var err error
+	if spec.Envs, err = matrix.ParseEnvs(env); err != nil {
+		return spec, err
+	}
+	if spec.Modes, err = matrix.ParseModes(mode); err != nil {
+		return spec, err
+	}
+	if grid != "" {
+		if spec.Grids, err = matrix.ParseGrids(grid); err != nil {
+			return spec, err
+		}
+	}
+	if problem != "" {
+		if spec.Problems, err = matrix.ParseProblems(problem); err != nil {
+			return spec, err
+		}
+	}
+	if p, err := matrix.ParseInts("procs", procs); err != nil {
+		return spec, err
+	} else if p != nil {
+		spec.Procs = p
+	}
+	if n, err := matrix.ParseInts("size", sizes); err != nil {
+		return spec, err
+	} else if n != nil {
+		spec.Sizes = n
+	}
+	return spec, nil
+}
+
+// paperTables regenerates the evaluation section's tables and figures
+// (internal/bench), the pre-matrix behaviour of this command.
+func paperTables(table, figure int, all, paper bool, procsF string) {
 	scale := bench.DefaultScale()
-	if *paper {
+	if paper {
 		scale = bench.PaperScale()
 	}
-	if *procs > 0 {
-		scale.NProcs = *procs
+	if p, err := matrix.ParseInts("procs", procsF); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	} else if len(p) > 1 {
+		fmt.Fprintln(os.Stderr, "paper-table mode takes a single -procs value")
+		os.Exit(2)
+	} else if len(p) == 1 {
+		scale.NProcs = p[0]
 	}
 
 	did := false
-	want := func(t int) bool { return *all || *table == t }
-
+	want := func(t int) bool { return all || table == t }
 	if want(1) {
 		fmt.Println(bench.Table1(scale))
 		did = true
@@ -58,13 +204,12 @@ func main() {
 		fmt.Println(bench.Table4())
 		did = true
 	}
-	if *all || *figure == 3 {
+	if all || figure == 3 {
 		fmt.Println(bench.FormatFigure3(bench.Figure3(scale)))
 		did = true
 	}
 	if !did {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table N, -figure 3 or -all")
-		flag.Usage()
+		fmt.Fprintf(os.Stderr, "nothing to do: -table takes 1-4, -figure takes 3 (got -table %d -figure %d)\n", table, figure)
 		os.Exit(2)
 	}
 }

@@ -1,6 +1,8 @@
 // Command aiacrun performs one solve of the sparse linear test problem
 // with a chosen environment, mode, and grid — the interactive companion to
-// aiacbench for exploring the parameter space.
+// aiacbench for exploring a single cell of the experiment matrix. The
+// environment/grid/mode names are the matrix axis values (internal/matrix),
+// so a cell printed by aiacbench can be re-run here verbatim.
 //
 // Usage:
 //
@@ -15,13 +17,9 @@ import (
 	"os"
 
 	"aiac/internal/aiac"
-	"aiac/internal/cluster"
 	"aiac/internal/des"
-	"aiac/internal/env/madmpi"
-	"aiac/internal/env/mpi"
-	"aiac/internal/env/orb"
-	"aiac/internal/env/pm2"
 	"aiac/internal/la"
+	"aiac/internal/matrix"
 	"aiac/internal/problems"
 	"aiac/internal/trace"
 )
@@ -43,19 +41,30 @@ func main() {
 	)
 	flag.Parse()
 
+	modes, err := matrix.ParseModes(*mode)
+	if err != nil || len(modes) != 1 {
+		fmt.Fprintf(os.Stderr, "bad -mode %q: want async or sync\n", *mode)
+		os.Exit(2)
+	}
+	m := modes[0]
+	envs, err := matrix.ParseEnvs(*envName)
+	if err != nil || len(envs) != 1 {
+		if err == nil {
+			err = fmt.Errorf("-env takes a single environment")
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	envID := envs[0]
+	if !matrix.Supported(envID, m) {
+		fmt.Fprintf(os.Stderr, "%s does not support %s mode (mono-threaded MPI has no receive threads)\n", envID, m)
+		os.Exit(2)
+	}
+
 	sim := des.New()
-	var grid *cluster.Grid
-	switch *gridName {
-	case "3site":
-		grid = cluster.ThreeSiteEthernet(sim, *procs)
-	case "adsl":
-		grid = cluster.FourSiteADSL(sim, *procs)
-	case "local":
-		grid = cluster.LocalHeterogeneous(sim, *procs)
-	case "multiproto":
-		grid = cluster.LocalMultiProtocol(sim, *procs)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown grid %q\n", *gridName)
+	grid, err := matrix.NewGrid(sim, *gridName, *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -63,29 +72,10 @@ func main() {
 	if *gantt {
 		tr = trace.New()
 	}
-	var env aiac.Env
-	var err error
-	switch *envName {
-	case "mpi":
-		env, err = mpi.New(grid, tr)
-	case "madmpi":
-		env, err = madmpi.New(grid, madmpi.Sparse, tr)
-	case "pm2":
-		env, err = pm2.New(grid, pm2.Sparse, tr)
-	case "omniorb":
-		env, err = orb.New(grid, orb.Sparse, tr)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown environment %q\n", *envName)
-		os.Exit(2)
-	}
+	env, err := matrix.NewEnv(grid, envID, true, tr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deployment failed: %v\n", err)
 		os.Exit(1)
-	}
-
-	m := aiac.Async
-	if *mode == "sync" {
-		m = aiac.Sync
 	}
 
 	prob := problems.NewLinear(*n, *diags, *rho, *seed)

@@ -1,0 +1,48 @@
+// Matrixsweep: run a corner of the paper's experiment matrix — every
+// middleware environment in both modes on the 3-site Ethernet and ADSL
+// grids — through the internal/matrix worker pool, then derive the paper's
+// comparison table and persist the results for later diffing.
+//
+//	go run ./examples/matrixsweep
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aiac/internal/matrix"
+	"aiac/internal/report"
+)
+
+func main() {
+	// A reduced sweep: all environments and both modes (the matrix skips
+	// the impossible async×mpi pair on its own), two grids, small system.
+	spec := matrix.DefaultSpec()
+	spec.Grids = []string{"3site", "local"}
+	spec.Sizes = []int{6000}
+
+	cells := spec.Cells()
+	fmt.Printf("sweeping %d cells of the experiment matrix\n\n", len(cells))
+
+	set, err := matrix.Run(spec, matrix.Options{
+		Workers: 4,
+		OnResult: func(r report.Result) {
+			fmt.Printf("  done %-40s %8.2fs virtual\n", r.Key(), r.TimeSec)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	fmt.Print(set.Table())
+
+	const out = "matrixsweep.json"
+	if err := report.WriteFile(out, set); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("persisted to %s — rerun and diff with:\n", out)
+	fmt.Printf("  go run ./cmd/aiacbench -grid 3site,local -n 6000 -baseline %s\n", out)
+}

@@ -1,0 +1,3 @@
+module aiac
+
+go 1.24

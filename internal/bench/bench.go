@@ -1,12 +1,19 @@
 // Package bench regenerates every table and figure of the paper's
-// evaluation (§5): the experiment definitions, the four middleware versions
-// of each algorithm, the three grids, and the text formatting of the
-// results. cmd/aiacbench and the root bench_test.go are thin wrappers over
-// this package.
+// evaluation (§5) verbatim: the experiment parameters (Table 1), the
+// sparse linear and non-linear comparisons of the four middleware versions
+// on the measurement grids (Tables 2-3), the per-environment thread
+// policies (Table 4), the execution-flow charts (Figures 1-2), and the
+// scalability sweep (Figure 3). cmd/aiacbench's paper-table mode and the
+// root bench_test.go are thin wrappers over this package.
 //
 // Absolute numbers are simulator outputs, not testbed measurements; the
-// claims under reproduction are the *shapes*: who wins, by what factor, and
-// where the curves cross (see EXPERIMENTS.md).
+// claims under reproduction are the *shapes*: who wins, by what factor,
+// and where the curves cross.
+//
+// This package runs the paper's fixed experiment list one version at a
+// time. For sweeping arbitrary (environment, mode, grid, problem, procs,
+// size) combinations across a worker pool with persisted, diffable
+// results, see internal/matrix and internal/report.
 package bench
 
 import (

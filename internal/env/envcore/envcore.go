@@ -249,6 +249,15 @@ type Endpoint struct {
 	stateSink func(p *des.Proc, st aiac.StateMsg)
 	stop      *des.Gate
 
+	// Sync-exchange bookkeeping for the threaded receive models, where
+	// data messages are incorporated by receive threads rather than
+	// drained from syncData: syncRecvd counts deliveries, syncTarget the
+	// cumulative count SyncExchange is waiting for, and syncWake is the
+	// gate parking the exchanging process until the next delivery.
+	syncRecvd  int
+	syncTarget int
+	syncWake   *des.Gate
+
 	barrierRound int
 	barrierGates map[int]*des.Gate
 	barArrivals  map[int]int // rank 0 only
@@ -578,6 +587,11 @@ func (ep *Endpoint) deliverData(w *wire) {
 	if ep.dataSink != nil {
 		ep.dataSink(w.data)
 	}
+	ep.syncRecvd++
+	if g := ep.syncWake; g != nil {
+		ep.syncWake = nil
+		g.Open()
+	}
 }
 
 // socketDrain returns the time the receive thread spends pulling the part
@@ -635,9 +649,16 @@ func (ep *Endpoint) Barrier(p *des.Proc) {
 	g.Wait(p)
 }
 
-// SyncExchange implements the SISC blocking exchange.
+// SyncExchange implements the SISC blocking exchange. On the mono-threaded
+// environment (RecvSync) the exchanging process itself drains and unpacks
+// the queued data messages, which is where the receive cost of classical
+// MPI lands. On the threaded environments the receive machinery unpacks and
+// incorporates messages as they arrive, so the exchange only blocks until
+// the cumulative delivery count covers this round — the SISC algorithm run
+// over a multithreaded middleware keeps its barrier semantics while paying
+// that middleware's receive costs.
 func (ep *Endpoint) SyncExchange(p *des.Proc, sends []aiac.Outgoing, nRecv int) {
-	// Mono-threaded blocking sends, one after another.
+	// Blocking sends, one after another.
 	for _, o := range sends {
 		ep.chargePack(p, 8*len(o.Values))
 		w := &wire{
@@ -648,6 +669,17 @@ func (ep *Endpoint) SyncExchange(p *des.Proc, sends []aiac.Outgoing, nRecv int) 
 			payloadBytes: 8 * len(o.Values),
 		}
 		ep.transmit(w, o.To)
+	}
+	if ep.env.opts.RecvModel != RecvSync {
+		// Threaded receives: wait until this round's messages have been
+		// delivered by the receive threads.
+		ep.syncTarget += nRecv
+		for ep.syncRecvd < ep.syncTarget {
+			g := des.NewGate(ep.env.grid.Sim)
+			ep.syncWake = g
+			g.Wait(p)
+		}
+		return
 	}
 	// Blocking receives of this iteration's dependency data.
 	for i := 0; i < nRecv; i++ {
@@ -692,6 +724,8 @@ func (ep *Endpoint) allreduce(p *des.Proc, op redOp, vs []float64) []float64 {
 func (ep *Endpoint) ResetSession() {
 	ep.stop = des.NewGate(ep.env.grid.Sim)
 	ep.inflight = make(map[int]bool)
+	ep.syncRecvd, ep.syncTarget = 0, 0
+	ep.syncWake = nil
 }
 
 // compile-time interface checks

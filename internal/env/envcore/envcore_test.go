@@ -425,3 +425,31 @@ func TestFlowControlThrottlesFloodingSender(t *testing.T) {
 		t.Fatalf("flow control failed to throttle: %d sends accepted", sent)
 	}
 }
+
+// TestSyncExchangeThreadedRecv runs the SISC blocking exchange over the
+// threaded receive models, where deliveries happen in receive threads and
+// SyncExchange blocks on the cumulative delivery count instead of draining
+// syncData.
+func TestSyncExchangeThreadedRecv(t *testing.T) {
+	for _, model := range []RecvModel{RecvSingleThread, RecvOnDemand} {
+		sim, _, env := newTestEnv(t, 2, model)
+		gotA, gotB := 0, 0
+		env.Comm(0).SetDataSink(func(aiac.DataMsg) { gotA++ })
+		env.Comm(1).SetDataSink(func(aiac.DataMsg) { gotB++ })
+		for r := 0; r < 2; r++ {
+			r := r
+			sim.Spawn("w", func(p *des.Proc) {
+				c := env.Comm(r)
+				for iter := 0; iter < 3; iter++ {
+					sends := []aiac.Outgoing{{To: 1 - r, Key: r, Iter: iter, Values: []float64{float64(iter)}}}
+					c.SyncExchange(p, sends, 1)
+					c.AllreduceMax(p, 0)
+				}
+			})
+		}
+		sim.Run()
+		if gotA != 3 || gotB != 3 {
+			t.Fatalf("%v: exchanged %d/%d messages, want 3/3", model, gotA, gotB)
+		}
+	}
+}

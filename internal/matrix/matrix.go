@@ -1,0 +1,328 @@
+// Package matrix enumerates and schedules the paper's experiment matrix:
+// every measurement of the evaluation (§5) is one *cell* — an (environment,
+// mode, grid, problem, procs, size) combination — and a sweep is the set of
+// cells selected by a Spec, executed across a bounded pool of concurrent
+// discrete-event simulations and streamed into internal/report.
+//
+// The axes are the ones the paper varies:
+//
+//   - environment: sync-mpi, PM2, MPICH/Madeleine, OmniORB (§2-3, Table 4);
+//   - mode: AIAC asynchronous iterations versus the synchronous SISC
+//     baseline (§4.1);
+//   - grid: the three platforms of §5.1 (3-site Ethernet, 4-site with an
+//     ADSL uplink, local heterogeneous cluster) plus the Myrinet-enabled
+//     local grid of §5.3;
+//   - problem: the sparse linear system and the non-linear chemical
+//     problem of §4.2;
+//   - procs and size: the scaling axes of Tables 2-3 and Figure 3.
+//
+// One combination is structurally impossible and is skipped during
+// enumeration: asynchronous mode on the mono-threaded MPI environment,
+// which has no receive machinery outside its blocking exchange — exactly
+// the limitation that motivates the paper's comparison (§2).
+//
+// Every cell runs in its own des.Simulator, so cells share no state and a
+// sweep's results are identical whatever the worker count.
+package matrix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aiac/internal/aiac"
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+	"aiac/internal/env/madmpi"
+	"aiac/internal/env/mpi"
+	"aiac/internal/env/orb"
+	"aiac/internal/env/pm2"
+	"aiac/internal/report"
+	"aiac/internal/trace"
+)
+
+// The canonical axis values, in presentation order.
+var (
+	// EnvNames lists the middleware environments (§2-3).
+	EnvNames = []string{"mpi", "pm2", "madmpi", "omniorb"}
+	// GridNames lists the simulated platforms (§5.1, §5.3).
+	GridNames = []string{"3site", "adsl", "local", "multiproto"}
+	// ProblemNames lists the test problems (§4.2).
+	ProblemNames = []string{"linear", "chem"}
+	// Modes lists the iteration schemes, baseline first.
+	Modes = []aiac.Mode{aiac.Sync, aiac.Async}
+)
+
+// Cell is one experiment of the matrix.
+type Cell struct {
+	Env     string
+	Mode    aiac.Mode
+	Grid    string
+	Problem string
+	Procs   int
+	// Size is the problem size: unknowns for the linear system, the
+	// square discretisation-grid edge for the chemical problem.
+	Size int
+}
+
+// Key identifies the cell: env/mode/grid/problem/pP/nN. It delegates to
+// report.Result.Key so a cell and its result always share one identity.
+func (c Cell) Key() string {
+	return report.Result{
+		Env: c.Env, Mode: c.Mode.String(), Grid: c.Grid,
+		Problem: c.Problem, Procs: c.Procs, Size: c.Size,
+	}.Key()
+}
+
+// Supported reports whether the (environment, mode) combination can run.
+// Asynchronous iterations need receive threads; the mono-threaded MPI
+// environment has none (§2), so async×mpi is the one unsupported pair.
+func Supported(env string, mode aiac.Mode) bool {
+	return !(env == "mpi" && mode == aiac.Async)
+}
+
+// LinearParams tunes the sparse linear problem cells (§4.2, Table 1).
+type LinearParams struct {
+	Diags    int     // off-diagonal bands
+	Rho      float64 // diagonal-dominance bound on the spectral radius
+	Eps      float64 // convergence threshold (Equ. 5)
+	MaxIters int     // per-processor iteration cap
+	Seed     int64   // matrix generator seed; repetition r uses Seed+r
+}
+
+// ChemParams tunes the non-linear chemical problem cells (§4.2, Table 1).
+type ChemParams struct {
+	StepS    float64 // time step (s)
+	HorizonS float64 // simulated interval (s)
+	Eps      float64 // Newton convergence threshold
+	GmresTol float64 // inner GMRES tolerance
+}
+
+// Spec selects the cells of a sweep. Empty axis slices mean "all values"
+// (for Sizes: the per-problem default).
+type Spec struct {
+	Envs     []string
+	Modes    []aiac.Mode
+	Grids    []string
+	Problems []string
+	Procs    []int
+	Sizes    []int
+
+	Linear LinearParams
+	Chem   ChemParams
+}
+
+// DefaultSpec sweeps the full env×mode×grid matrix of the paper's
+// measurement grids for the sparse linear problem. The sizes and the
+// convergence threshold are tuned so that *every* cell — including the
+// asynchronous solves behind the ADSL uplink, whose fast ranks spin
+// through hundreds of thousands of iterations while data crawls over the
+// 128 kb/s link — detects convergence within roughly a minute of host time
+// per cell, keeping the full sweep interactive while preserving the
+// paper's qualitative shape (async ≫ sync on the ADSL grid).
+func DefaultSpec() Spec {
+	return Spec{
+		Envs:     EnvNames,
+		Modes:    Modes,
+		Grids:    []string{"3site", "adsl", "local"},
+		Problems: []string{"linear"},
+		Procs:    []int{8},
+		Linear:   LinearParams{Diags: 12, Rho: 0.85, Eps: 1e-5, MaxIters: 3000000, Seed: 20040426},
+		Chem:     ChemParams{StepS: 180, HorizonS: 540, Eps: 1e-6, GmresTol: 1e-6},
+	}
+}
+
+// defaultSize is the per-problem problem size used when Spec.Sizes is
+// empty: big enough that exchange messages leave the small-message regime,
+// small enough for interactive sweeps.
+func defaultSize(problem string) int {
+	if problem == "chem" {
+		return 36
+	}
+	return 12000
+}
+
+// Cells enumerates the spec's cells in deterministic presentation order:
+// grouping axes (problem, grid, procs, size) outermost, then the versions
+// (mode × env, baseline first) — the row order of the paper's tables.
+// Unsupported (env, mode) pairs are skipped.
+func (s Spec) Cells() []Cell {
+	s = s.withDefaults()
+	var cells []Cell
+	for _, prob := range s.Problems {
+		sizes := s.Sizes
+		if len(sizes) == 0 {
+			sizes = []int{defaultSize(prob)}
+		}
+		for _, grid := range s.Grids {
+			for _, procs := range s.Procs {
+				for _, size := range sizes {
+					for _, mode := range s.Modes {
+						for _, env := range s.Envs {
+							if !Supported(env, mode) {
+								continue
+							}
+							cells = append(cells, Cell{
+								Env: env, Mode: mode, Grid: grid,
+								Problem: prob, Procs: procs, Size: size,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+func (s Spec) withDefaults() Spec {
+	d := DefaultSpec()
+	if len(s.Envs) == 0 {
+		s.Envs = EnvNames
+	}
+	if len(s.Modes) == 0 {
+		s.Modes = Modes
+	}
+	if len(s.Grids) == 0 {
+		s.Grids = GridNames
+	}
+	if len(s.Problems) == 0 {
+		s.Problems = ProblemNames
+	}
+	if len(s.Procs) == 0 {
+		s.Procs = []int{8}
+	}
+	if s.Linear == (LinearParams{}) {
+		s.Linear = d.Linear
+	}
+	if s.Chem == (ChemParams{}) {
+		s.Chem = d.Chem
+	}
+	return s
+}
+
+// --- Cell-spec parsing, shared by cmd/aiacbench and cmd/aiacrun ---
+
+// parseAxis splits a comma-separated filter and validates every element
+// against the axis's known values. An empty filter selects all values.
+func parseAxis(axis, csv string, known []string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return append([]string(nil), known...), nil
+	}
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		ok := false
+		for _, k := range known {
+			if f == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown %s %q (known: %s)", axis, f, strings.Join(known, ", "))
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty %s filter %q", axis, csv)
+	}
+	return out, nil
+}
+
+// ParseEnvs parses an environment filter ("pm2,mpi"; "" = all).
+func ParseEnvs(csv string) ([]string, error) { return parseAxis("environment", csv, EnvNames) }
+
+// ParseGrids parses a grid filter ("3site,adsl"; "" = all).
+func ParseGrids(csv string) ([]string, error) { return parseAxis("grid", csv, GridNames) }
+
+// ParseProblems parses a problem filter ("linear"; "" = all).
+func ParseProblems(csv string) ([]string, error) { return parseAxis("problem", csv, ProblemNames) }
+
+// ParseModes parses a mode filter ("async,sync"; "" = both, baseline
+// first).
+func ParseModes(csv string) ([]aiac.Mode, error) {
+	names, err := parseAxis("mode", csv, []string{"sync", "async"})
+	if err != nil {
+		return nil, err
+	}
+	var out []aiac.Mode
+	for _, n := range names {
+		if n == "sync" {
+			out = append(out, aiac.Sync)
+		} else {
+			out = append(out, aiac.Async)
+		}
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated positive integer list ("8,12,16").
+// An empty string returns nil (axis default).
+func ParseInts(axis, csv string) ([]int, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad %s value %q: want a positive integer", axis, f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty %s list %q", axis, csv)
+	}
+	return out, nil
+}
+
+// NewGrid builds the named simulated platform with n machines.
+func NewGrid(sim *des.Simulator, name string, n int) (*cluster.Grid, error) {
+	switch name {
+	case "3site":
+		return cluster.ThreeSiteEthernet(sim, n), nil
+	case "adsl":
+		return cluster.FourSiteADSL(sim, n), nil
+	case "local":
+		return cluster.LocalHeterogeneous(sim, n), nil
+	case "multiproto":
+		return cluster.LocalMultiProtocol(sim, n), nil
+	default:
+		return nil, fmt.Errorf("unknown grid %q (known: %s)", name, strings.Join(GridNames, ", "))
+	}
+}
+
+// NewEnv deploys the named environment over the grid, with the Table 4
+// thread configuration matching the problem kind (sparse: all-to-all
+// exchange; otherwise the neighbour-exchange non-linear configuration).
+func NewEnv(grid *cluster.Grid, name string, sparse bool, tr *trace.Collector) (aiac.Env, error) {
+	switch name {
+	case "mpi":
+		return mpi.New(grid, tr)
+	case "pm2":
+		if sparse {
+			return pm2.New(grid, pm2.Sparse, tr)
+		}
+		return pm2.New(grid, pm2.NonLinear, tr)
+	case "madmpi":
+		if sparse {
+			return madmpi.New(grid, madmpi.Sparse, tr)
+		}
+		return madmpi.New(grid, madmpi.NonLinear, tr)
+	case "omniorb":
+		if sparse {
+			return orb.New(grid, orb.Sparse, tr)
+		}
+		return orb.New(grid, orb.NonLinear, tr)
+	default:
+		return nil, fmt.Errorf("unknown environment %q (known: %s)", name, strings.Join(EnvNames, ", "))
+	}
+}

@@ -1,0 +1,183 @@
+package matrix
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"aiac/internal/aiac"
+	"aiac/internal/report"
+)
+
+// smallSpec is a fast spec for runner tests: three versions on the local
+// grid at a size that solves in well under a second of host time.
+func smallSpec() Spec {
+	s := DefaultSpec()
+	s.Envs = []string{"mpi", "pm2"}
+	s.Grids = []string{"local"}
+	s.Procs = []int{4}
+	s.Sizes = []int{4000}
+	s.Linear = LinearParams{Diags: 6, Rho: 0.8, Eps: 1e-6, MaxIters: 200000, Seed: 7}
+	return s
+}
+
+func TestDefaultSpecCells(t *testing.T) {
+	cells := DefaultSpec().Cells()
+	// 3 grids × (4 sync versions + 3 async versions) for one problem,
+	// one procs count, one size.
+	if len(cells) != 21 {
+		t.Fatalf("default spec enumerates %d cells, want 21", len(cells))
+	}
+	// Paper row order: the synchronous baseline leads each group.
+	if cells[0].Env != "mpi" || cells[0].Mode != aiac.Sync {
+		t.Fatalf("first cell = %s, want the sync-mpi baseline", cells[0].Key())
+	}
+	for _, c := range cells {
+		if c.Env == "mpi" && c.Mode == aiac.Async {
+			t.Fatalf("enumerated unsupported cell %s", c.Key())
+		}
+	}
+}
+
+func TestCellsDeterministicOrder(t *testing.T) {
+	a, b := DefaultSpec().Cells(), DefaultSpec().Cells()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("enumeration order is not deterministic")
+	}
+}
+
+func TestSupported(t *testing.T) {
+	if Supported("mpi", aiac.Async) {
+		t.Error("async on mono-threaded MPI must be unsupported")
+	}
+	for _, env := range EnvNames {
+		if !Supported(env, aiac.Sync) {
+			t.Errorf("sync on %s must be supported", env)
+		}
+	}
+}
+
+func TestParseFilters(t *testing.T) {
+	envs, err := ParseEnvs(" pm2, mpi ")
+	if err != nil || !reflect.DeepEqual(envs, []string{"pm2", "mpi"}) {
+		t.Fatalf("ParseEnvs = %v, %v", envs, err)
+	}
+	if all, err := ParseEnvs(""); err != nil || !reflect.DeepEqual(all, EnvNames) {
+		t.Fatalf("empty filter should select all envs, got %v, %v", all, err)
+	}
+	if _, err := ParseEnvs("corba"); err == nil || !strings.Contains(err.Error(), "unknown environment") {
+		t.Fatalf("unknown env error = %v", err)
+	}
+	if _, err := ParseGrids("9site"); err == nil {
+		t.Fatal("unknown grid accepted")
+	}
+	modes, err := ParseModes("async")
+	if err != nil || len(modes) != 1 || modes[0] != aiac.Async {
+		t.Fatalf("ParseModes(async) = %v, %v", modes, err)
+	}
+	if _, err := ParseModes("half-sync"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	ints, err := ParseInts("procs", "8, 12")
+	if err != nil || !reflect.DeepEqual(ints, []int{8, 12}) {
+		t.Fatalf("ParseInts = %v, %v", ints, err)
+	}
+	if ints, err := ParseInts("procs", ""); err != nil || ints != nil {
+		t.Fatalf("empty int list = %v, %v, want nil default", ints, err)
+	}
+	if _, err := ParseInts("procs", "-3"); err == nil {
+		t.Fatal("negative int accepted")
+	}
+	if _, err := ParseInts("procs", "eight"); err == nil {
+		t.Fatal("non-numeric int accepted")
+	}
+}
+
+func TestNewGridNewEnvUnknown(t *testing.T) {
+	if _, err := NewGrid(nil, "mesh", 4); err == nil {
+		t.Fatal("unknown grid accepted")
+	}
+}
+
+// TestRunDeterministicUnderParallelism asserts the sweep's core contract:
+// each cell owns its simulator, so the result set is bit-identical whatever
+// the worker count (only host timing may differ).
+func TestRunDeterministicUnderParallelism(t *testing.T) {
+	spec := smallSpec()
+	run := func(workers int) []report.Result {
+		set, err := Run(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := set.Results
+		for i := range rs {
+			rs[i].HostSec = 0
+		}
+		return rs
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("results differ across worker counts:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if len(serial) != 3 { // sync mpi, sync pm2, async pm2
+		t.Fatalf("got %d results, want 3", len(serial))
+	}
+	for _, r := range serial {
+		if r.Error != "" {
+			t.Fatalf("cell %s failed: %s", r.Key(), r.Error)
+		}
+		if !r.Converged {
+			t.Errorf("cell %s did not converge", r.Key())
+		}
+		if r.TimeSec <= 0 || r.Iters <= 0 || r.Messages == 0 {
+			t.Errorf("cell %s has empty measurements: %+v", r.Key(), r)
+		}
+		if r.Problem == "linear" && r.Residual > 1e-4 {
+			t.Errorf("cell %s residual %g too large", r.Key(), r.Residual)
+		}
+	}
+}
+
+func TestRunRepsAggregation(t *testing.T) {
+	spec := smallSpec()
+	spec.Envs = []string{"pm2"}
+	spec.Modes = []aiac.Mode{aiac.Async}
+	set, err := Run(spec, Options{Workers: 2, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(set.Results))
+	}
+	r := set.Results[0]
+	if r.Reps != 3 {
+		t.Errorf("Reps = %d, want 3", r.Reps)
+	}
+	if r.MinTimeSec <= 0 || r.MinTimeSec > r.TimeSec {
+		t.Errorf("min/median aggregation broken: min=%g median=%g", r.MinTimeSec, r.TimeSec)
+	}
+}
+
+func TestRunStreamsResults(t *testing.T) {
+	spec := smallSpec()
+	var streamed []string
+	set, err := Run(spec, Options{Workers: 4, OnResult: func(r report.Result) {
+		streamed = append(streamed, r.Key())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(set.Results) {
+		t.Fatalf("streamed %d results, set has %d", len(streamed), len(set.Results))
+	}
+}
+
+func TestRunEmptySpec(t *testing.T) {
+	spec := smallSpec()
+	spec.Modes = []aiac.Mode{aiac.Async}
+	spec.Envs = []string{"mpi"} // async×mpi is unsupported → no cells
+	if _, err := Run(spec, Options{}); err == nil {
+		t.Fatal("expected an error for a spec selecting no cells")
+	}
+}

@@ -1,7 +1,20 @@
 // Package problems adapts the two test problems of the paper's §4 to the
-// AIAC engine: the sparse linear system solved by fixed-step gradient
-// descent, and the non-linear chemical problem solved by time-stepped
-// multisplitting Newton.
+// AIAC engine's Problem interface:
+//
+//   - the sparse linear system of §4.2 (a diagonally dominant banded
+//     matrix with a known solution), iterated by fixed-step preconditioned
+//     gradient descent (Equ. 4) and distributed by contiguous row blocks
+//     — the all-to-all workload of Table 2;
+//   - the non-linear advection-diffusion-reaction chemical problem of
+//     §4.2, advanced by implicit time steps whose inner non-linear systems
+//     are solved either by AIAC multisplitting Newton (strategy 2, RunChem)
+//     or by the classical global Newton-GMRES baseline whose distributed
+//     dot products synchronise the whole machine set (strategy 1,
+//     RunChemSyncGlobal) — the neighbour-exchange workload of Table 3 and
+//     Figure 3.
+//
+// Both adapters report per-iteration residuals (Equ. 5-6) and flop counts,
+// which the simulated CPUs turn into virtual compute time.
 package problems
 
 import (

@@ -25,6 +25,15 @@ import (
 // steps of h using lockstep global Newton + distributed GMRES on the given
 // grid/environment. It mirrors RunChem's reporting so the two versions can
 // be compared row by row.
+//
+// The environment must use the mono-threaded receive model (sync-mpi, the
+// environment of the paper's strategy 1): the ghost exchange re-targets its
+// data sink at a different buffer on every call, which is only safe when
+// receipts are drained inside SyncExchange itself. On a threaded receive
+// model a fast neighbour's next-round message could be incorporated through
+// the previous round's sink — callers (internal/matrix, internal/bench)
+// route the threaded environments to the lockstep multisplitting version
+// (RunChem with Mode Sync) instead.
 func RunChemSyncGlobal(grid *cluster.Grid, env aiac.Env, p *chem.Problem, y0 []float64, h, tEnd float64, gp gmres.Params, eps float64, maxNewton int) *ChemRun {
 	if gp.Tol <= 0 {
 		gp.Tol = 1e-6

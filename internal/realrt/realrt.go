@@ -18,7 +18,10 @@
 // This backend exists to validate the engine semantics against a real
 // concurrent execution (same Problem interface, same convergence protocol)
 // and as the repository's demonstration that the AIAC model maps naturally
-// onto Go.
+// onto Go. It is the wall-clock counterpart of the simulated stack
+// (internal/des + internal/env): the simulator gives deterministic,
+// hardware-independent comparisons across middlewares; this package gives
+// a nondeterministic but genuinely parallel execution on the host.
 package realrt
 
 import (

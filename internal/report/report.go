@@ -1,0 +1,323 @@
+// Package report persists and renders the results of experiment-matrix
+// sweeps (internal/matrix): one Result per experiment cell, collected into
+// a Set that round-trips through JSON (`BENCH_*.json` files) so runs can be
+// compared across commits.
+//
+// The rendering follows the layout of the paper's evaluation (§5): the
+// aligned table groups cells by (problem, grid, procs, size) and derives
+// the per-group "ratio" column of Tables 2-3 — the synchronous baseline's
+// time over each version's time, so the asynchronous versions' advantage
+// reads directly as a factor > 1. When a sweep varies the processor count,
+// ScalingTable derives the speedup and efficiency curves of Figure 3.
+// Diff compares two persisted sets cell by cell for regression checks.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Schema is the persisted-file format version.
+const Schema = 1
+
+// Result is the outcome of one experiment cell, aggregated over its
+// repetitions.
+type Result struct {
+	// Env, Mode, Grid, Problem, Procs and Size identify the cell.
+	Env     string `json:"env"`
+	Mode    string `json:"mode"`
+	Grid    string `json:"grid"`
+	Problem string `json:"problem"`
+	Procs   int    `json:"procs"`
+	Size    int    `json:"size"`
+
+	// Reps is the number of repetitions aggregated into this result.
+	Reps int `json:"reps"`
+	// TimeSec is the median simulated wall time over the repetitions, in
+	// virtual seconds (the paper's execution-time metric).
+	TimeSec float64 `json:"time_sec"`
+	// MinTimeSec is the fastest repetition.
+	MinTimeSec float64 `json:"min_time_sec"`
+	// Iters is the total iteration count over all ranks (median rep).
+	Iters int `json:"iters"`
+	// Messages and Bytes are the network traffic counters of the median
+	// rep; InterSite counts the messages that crossed a site uplink.
+	Messages  uint64 `json:"messages"`
+	Bytes     uint64 `json:"bytes"`
+	InterSite uint64 `json:"inter_site"`
+	// Residual is the max-norm error against the known true solution
+	// (sparse linear problem only; 0 for problems without a closed-form
+	// truth).
+	Residual float64 `json:"residual"`
+	// Converged reports whether every solve detected convergence rather
+	// than hitting the iteration cap.
+	Converged bool `json:"converged"`
+	// HostSec is the host wall time spent simulating this cell (all
+	// repetitions). Not compared across runs.
+	HostSec float64 `json:"host_sec"`
+	// Error, when non-empty, explains why the cell produced no
+	// measurement (e.g. the environment refused to deploy on the grid).
+	Error string `json:"error,omitempty"`
+}
+
+// Key identifies the cell within a set: env/mode/grid/problem/pP/nN.
+func (r Result) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%s/p%d/n%d", r.Env, r.Mode, r.Grid, r.Problem, r.Procs, r.Size)
+}
+
+// group is the table-grouping key: cells in the same group share a
+// synchronous baseline and are directly comparable.
+func (r Result) group() string {
+	return fmt.Sprintf("%s/%s/p%d/n%d", r.Problem, r.Grid, r.Procs, r.Size)
+}
+
+// version is the paper's "version" label: mode plus environment.
+func (r Result) version() string { return r.Mode + " " + r.Env }
+
+// Set is a persisted collection of results from one sweep.
+type Set struct {
+	Schema int `json:"schema"`
+	// CreatedAt is an RFC 3339 stamp set by the writing command.
+	CreatedAt string `json:"created_at,omitempty"`
+	// Command reproduces the sweep.
+	Command string   `json:"command,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Lookup finds the result with the given Key.
+func (s *Set) Lookup(key string) (Result, bool) {
+	for _, r := range s.Results {
+		if r.Key() == key {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// WriteFile persists the set as indented JSON.
+func WriteFile(path string, s *Set) error {
+	s.Schema = Schema
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadFile loads a set persisted by WriteFile.
+func ReadFile(path string) (*Set, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Set
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("report: parsing %s: %w", path, err)
+	}
+	if s.Schema > Schema {
+		return nil, fmt.Errorf("report: %s has schema %d, this binary reads <= %d", path, s.Schema, Schema)
+	}
+	return &s, nil
+}
+
+// baselineTime returns the group's synchronous reference time: the
+// sync-MPI cell when present (the paper's baseline version), otherwise the
+// first synchronous cell of the group.
+func baselineTime(group []Result) (float64, bool) {
+	var t float64
+	found := false
+	for _, r := range group {
+		if r.Mode != "sync" || r.Error != "" {
+			continue
+		}
+		if r.Env == "mpi" {
+			return r.TimeSec, true
+		}
+		if !found {
+			t, found = r.TimeSec, true
+		}
+	}
+	return t, found
+}
+
+// Table renders the set in the layout of the paper's Tables 2-3: one block
+// per (problem, grid, procs, size) group, one line per version, with the
+// ratio column relative to the group's synchronous baseline. Groups render
+// in first-appearance order, each exactly once, so sets whose results are
+// not stored contiguously (e.g. hand-merged files) still render correctly.
+func (s *Set) Table() string {
+	var b strings.Builder
+	seen := make(map[string]bool)
+	for _, r := range s.Results {
+		g := r.group()
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		fmt.Fprintf(&b, "%s — %s grid, %d procs, n=%d\n", r.Problem, r.Grid, r.Procs, r.Size)
+		fmt.Fprintf(&b, "  %-16s %12s %8s %10s %10s %10s %10s %6s\n",
+			"version", "time", "ratio", "iters", "msgs", "MB", "residual", "conv")
+		writeGroup(&b, s.groupOf(g))
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+func (s *Set) groupOf(g string) []Result {
+	var out []Result
+	for _, r := range s.Results {
+		if r.group() == g {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func writeGroup(b *strings.Builder, grp []Result) {
+	base, haveBase := baselineTime(grp)
+	for _, r := range grp {
+		if r.Error != "" {
+			fmt.Fprintf(b, "  %-16s %12s (%s)\n", r.version(), "-", r.Error)
+			continue
+		}
+		ratio := "-"
+		if haveBase && r.TimeSec > 0 {
+			ratio = fmt.Sprintf("%8.2f", base/r.TimeSec)
+		}
+		res := fmt.Sprintf("%10.2e", r.Residual)
+		if r.Residual == 0 {
+			res = fmt.Sprintf("%10s", "-")
+		}
+		fmt.Fprintf(b, "  %-16s %12s %8s %10d %10d %10.1f %s %6v\n",
+			r.version(), FmtSec(r.TimeSec), ratio, r.Iters, r.Messages,
+			float64(r.Bytes)/1e6, res, r.Converged)
+	}
+}
+
+// FmtSec renders virtual seconds compactly (ms under a second, seconds
+// with two decimals under ten minutes, minutes beyond). It is the single
+// time formatter for every rendering of a Result, so progress lines and
+// tables agree.
+func FmtSec(s float64) string {
+	if s < 1 {
+		return fmt.Sprintf("%.1fms", s*1e3)
+	}
+	if s < 600 {
+		return fmt.Sprintf("%.2fs", s)
+	}
+	return fmt.Sprintf("%.1fmin", s/60)
+}
+
+// ScalingTable derives speedup and efficiency versus the smallest measured
+// processor count, per version series — the derivation behind the paper's
+// Figure 3. It returns "" when no series has more than one procs value.
+func (s *Set) ScalingTable() string {
+	type seriesKey struct {
+		env, mode, grid, problem string
+		size                     int
+	}
+	series := make(map[seriesKey][]Result)
+	var order []seriesKey
+	for _, r := range s.Results {
+		if r.Error != "" {
+			continue
+		}
+		k := seriesKey{r.Env, r.Mode, r.Grid, r.Problem, r.Size}
+		if _, ok := series[k]; !ok {
+			order = append(order, k)
+		}
+		series[k] = append(series[k], r)
+	}
+	var b strings.Builder
+	for _, k := range order {
+		pts := series[k]
+		if len(pts) < 2 {
+			continue
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Procs < pts[j].Procs })
+		if pts[0].Procs == pts[len(pts)-1].Procs {
+			continue
+		}
+		p0 := pts[0]
+		if b.Len() == 0 {
+			fmt.Fprintf(&b, "Scaling (speedup and efficiency vs the smallest run of each series)\n\n")
+		}
+		fmt.Fprintf(&b, "%s %s — %s grid, %s, n=%d\n", k.mode, k.env, k.grid, k.problem, k.size)
+		fmt.Fprintf(&b, "  %6s %12s %10s %12s\n", "procs", "time", "speedup", "efficiency")
+		for _, r := range pts {
+			sp := p0.TimeSec / r.TimeSec
+			eff := sp * float64(p0.Procs) / float64(r.Procs)
+			fmt.Fprintf(&b, "  %6d %12s %10.2f %12.2f\n", r.Procs, FmtSec(r.TimeSec), sp, eff)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// Diff compares a new set against a baseline cell by cell and renders the
+// per-cell deltas (time, iterations, bytes). Cells present in only one of
+// the sets are listed separately.
+func Diff(baseline, current *Set) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Comparison against baseline (%s)\n\n", orUnknown(baseline.CreatedAt))
+	fmt.Fprintf(&b, "%-44s %12s %12s %8s %9s %9s\n",
+		"cell", "base", "now", "Δtime", "Δiters", "Δbytes")
+	var missing, added []string
+	for _, r := range current.Results {
+		old, ok := baseline.Lookup(r.Key())
+		if !ok {
+			added = append(added, r.Key())
+			continue
+		}
+		if r.Error != "" || old.Error != "" {
+			fmt.Fprintf(&b, "%-44s %12s %12s (error: %s)\n", r.Key(), "-", "-", firstNonEmpty(r.Error, old.Error))
+			continue
+		}
+		fmt.Fprintf(&b, "%-44s %12s %12s %8s %9s %9s\n",
+			r.Key(), FmtSec(old.TimeSec), FmtSec(r.TimeSec),
+			pct(old.TimeSec, r.TimeSec),
+			pct(float64(old.Iters), float64(r.Iters)),
+			pct(float64(old.Bytes), float64(r.Bytes)))
+	}
+	for _, r := range baseline.Results {
+		if _, ok := current.Lookup(r.Key()); !ok {
+			missing = append(missing, r.Key())
+		}
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(&b, "\nonly in current run: %s\n", strings.Join(added, ", "))
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(&b, "only in baseline: %s\n", strings.Join(missing, ", "))
+	}
+	return b.String()
+}
+
+func pct(old, now float64) string {
+	if old == 0 {
+		return "-"
+	}
+	d := (now - old) / old * 100
+	if d == 0 {
+		return "="
+	}
+	return fmt.Sprintf("%+.1f%%", d)
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "no timestamp"
+	}
+	return s
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}

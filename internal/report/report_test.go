@@ -1,0 +1,133 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() *Set {
+	return &Set{
+		CreatedAt: "2026-07-28T00:00:00Z",
+		Command:   "aiacbench -workers 8",
+		Results: []Result{
+			{Env: "mpi", Mode: "sync", Grid: "adsl", Problem: "linear", Procs: 8, Size: 30000,
+				Reps: 1, TimeSec: 120, MinTimeSec: 120, Iters: 4000, Messages: 900, Bytes: 8e6,
+				InterSite: 300, Residual: 2e-8, Converged: true},
+			{Env: "pm2", Mode: "async", Grid: "adsl", Problem: "linear", Procs: 8, Size: 30000,
+				Reps: 1, TimeSec: 30, MinTimeSec: 30, Iters: 9000, Messages: 2400, Bytes: 20e6,
+				InterSite: 800, Residual: 5e-8, Converged: true},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sample()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.CreatedAt != s.CreatedAt || got.Command != s.Command {
+		t.Fatalf("metadata did not round-trip: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Results, s.Results) {
+		t.Fatalf("results did not round-trip:\nwrote %+v\nread  %+v", s.Results, got.Results)
+	}
+}
+
+func TestReadFileRejectsNewerSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 999, "results": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("accepted a file with a newer schema")
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("accepted a non-JSON file")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := sample()
+	r, ok := s.Lookup("pm2/async/adsl/linear/p8/n30000")
+	if !ok || r.Env != "pm2" {
+		t.Fatalf("Lookup = %+v, %v", r, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("Lookup found a missing key")
+	}
+}
+
+func TestTableRatios(t *testing.T) {
+	out := sample().Table()
+	// The async PM2 cell is 4x faster than the sync baseline on the ADSL
+	// grid, so its ratio column must read 4.00.
+	if !strings.Contains(out, "4.00") {
+		t.Fatalf("table lacks the sync/async ratio:\n%s", out)
+	}
+	if !strings.Contains(out, "sync mpi") || !strings.Contains(out, "async pm2") {
+		t.Fatalf("table lacks version rows:\n%s", out)
+	}
+}
+
+func TestTableMarksErrors(t *testing.T) {
+	s := sample()
+	s.Results = append(s.Results, Result{
+		Env: "pm2", Mode: "async", Grid: "3site", Problem: "linear", Procs: 8, Size: 30000,
+		Error: "deployment refused",
+	})
+	if out := s.Table(); !strings.Contains(out, "deployment refused") {
+		t.Fatalf("table hides cell errors:\n%s", out)
+	}
+}
+
+func TestScalingTable(t *testing.T) {
+	s := &Set{Results: []Result{
+		{Env: "pm2", Mode: "async", Grid: "local", Problem: "chem", Procs: 10, Size: 50, TimeSec: 100},
+		{Env: "pm2", Mode: "async", Grid: "local", Problem: "chem", Procs: 20, Size: 50, TimeSec: 60},
+	}}
+	out := s.ScalingTable()
+	// Speedup 100/60 = 1.67; efficiency 1.67*10/20 = 0.83.
+	if !strings.Contains(out, "1.67") || !strings.Contains(out, "0.83") {
+		t.Fatalf("scaling derivations missing:\n%s", out)
+	}
+	if sample().ScalingTable() != "" {
+		t.Fatal("single-procs sweep should produce no scaling table")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := sample()
+	cur := sample()
+	cur.Results[1].TimeSec = 15 // async PM2 got 2x faster
+	cur.Results = append(cur.Results, Result{
+		Env: "omniorb", Mode: "async", Grid: "adsl", Problem: "linear", Procs: 8, Size: 30000, TimeSec: 40,
+	})
+	base.Results = append(base.Results, Result{
+		Env: "madmpi", Mode: "async", Grid: "adsl", Problem: "linear", Procs: 8, Size: 30000, TimeSec: 35,
+	})
+	out := Diff(base, cur)
+	if !strings.Contains(out, "-50.0%") {
+		t.Fatalf("diff lacks the time delta:\n%s", out)
+	}
+	if !strings.Contains(out, "only in current run: omniorb/") {
+		t.Fatalf("diff lacks added cells:\n%s", out)
+	}
+	if !strings.Contains(out, "only in baseline: madmpi/") {
+		t.Fatalf("diff lacks removed cells:\n%s", out)
+	}
+}
