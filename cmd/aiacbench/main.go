@@ -1,6 +1,6 @@
 // Command aiacbench sweeps the paper's experiment matrix — environment ×
-// mode × grid × problem × procs × size — across a bounded pool of
-// concurrent simulations, prints the comparison tables, and persists the
+// mode × grid × problem × procs × size × scenario — across a bounded pool
+// of concurrent simulations, prints the comparison tables, and persists the
 // results as JSON so later runs can be diffed against them.
 //
 // Matrix mode (the default):
@@ -8,9 +8,11 @@
 //	aiacbench -workers 8                      # full env×mode×grid sweep, sparse linear problem
 //	aiacbench -env pm2,mpi -grid adsl         # filter any axis
 //	aiacbench -problem chem -procs 8,12       # non-linear problem, two procs counts
-//	aiacbench -reps 3                         # median/min over three repetitions
+//	aiacbench -scenario flaky-adsl -grid adsl # grid-dynamics scenario + degradation table
+//	aiacbench -reps 3 -seed 42                # median/min over three jittered repetitions
 //	aiacbench -o BENCH_pr42.json              # choose the results file
 //	aiacbench -baseline BENCH_baseline.json   # print per-cell deltas vs a saved run
+//	aiacbench -baseline B.json -faildelta 1   # exit non-zero on >1% time drift (CI)
 //
 // Paper-table mode regenerates the evaluation section's tables and figures
 // verbatim (see internal/bench):
@@ -37,16 +39,19 @@ import (
 func main() {
 	var (
 		// Matrix-mode flags.
-		envF     = flag.String("env", "", "environment filter (csv of mpi, pm2, madmpi, omniorb; empty = all)")
-		modeF    = flag.String("mode", "", "mode filter (csv of sync, async; empty = both)")
-		gridF    = flag.String("grid", "", "grid filter (csv of 3site, adsl, local, multiproto; empty = the paper's three measurement grids)")
-		problemF = flag.String("problem", "", "problem filter (csv of linear, chem; empty = linear)")
-		procsF   = flag.String("procs", "", "processor counts (csv; empty = 8)")
-		sizesF   = flag.String("n", "", "problem sizes (csv; empty = per-problem default)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "cells simulated concurrently")
-		reps     = flag.Int("reps", 1, "repetitions per cell (median/min aggregation)")
-		outFile  = flag.String("o", "BENCH_latest.json", "results file to write (empty = don't persist)")
-		baseline = flag.String("baseline", "", "saved results file to diff this run against")
+		envF      = flag.String("env", "", "environment filter (csv of mpi, pm2, madmpi, omniorb; empty = all)")
+		modeF     = flag.String("mode", "", "mode filter (csv of sync, async; empty = both)")
+		gridF     = flag.String("grid", "", "grid filter (csv of 3site, adsl, local, multiproto; empty = the paper's three measurement grids)")
+		problemF  = flag.String("problem", "", "problem filter (csv of linear, chem; empty = linear)")
+		procsF    = flag.String("procs", "", "processor counts (csv; empty = 8)")
+		sizesF    = flag.String("n", "", "problem sizes (csv; empty = per-problem default)")
+		scenarioF = flag.String("scenario", "", "grid-dynamics scenario filter (csv of "+strings.Join(matrix.ScenarioNames, ", ")+"; empty = static)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "cells simulated concurrently")
+		reps      = flag.Int("reps", 1, "repetitions per cell (median/min aggregation)")
+		seed      = flag.Int64("seed", 0, "network-jitter seed: repetition r draws from stream seed+r (0 = jitter off, reps are bit-identical)")
+		outFile   = flag.String("o", "BENCH_latest.json", "results file to write (empty = don't persist)")
+		baseline  = flag.String("baseline", "", "saved results file to diff this run against")
+		failDelta = flag.Float64("faildelta", 0, "with -baseline: exit non-zero if any shared cell's time drifts more than this many percent, or outcomes change (0 = report only)")
 
 		// Paper-table mode flags.
 		table  = flag.Int("table", 0, "regenerate paper table 1, 2, 3 or 4 instead of sweeping")
@@ -61,7 +66,7 @@ func main() {
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *table != 0 || *figure != 0 || *all {
-		for _, name := range []string{"env", "mode", "grid", "problem", "n", "reps", "workers", "o", "baseline"} {
+		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "reps", "seed", "workers", "o", "baseline", "faildelta"} {
 			if explicit[name] {
 				fmt.Fprintf(os.Stderr, "-%s is a matrix-sweep flag; it has no effect with -table/-figure/-all\n", name)
 				os.Exit(2)
@@ -75,9 +80,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	spec, err := buildSpec(*envF, *modeF, *gridF, *problemF, *procsF, *sizesF)
+	spec, err := buildSpec(*envF, *modeF, *gridF, *problemF, *procsF, *sizesF, *scenarioF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// A degradation measurement needs its static baseline: when only
+	// dynamic scenarios are selected, sweep the static counterparts too.
+	if addStaticIfMissing(&spec) {
+		fmt.Println("note: adding the static scenario so degradation columns have their baseline")
+	}
+	if *failDelta != 0 && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "-faildelta needs -baseline")
 		os.Exit(2)
 	}
 	// Load the baseline before sweeping so a bad path fails in
@@ -101,6 +115,7 @@ func main() {
 	set, err := matrix.Run(spec, matrix.Options{
 		Workers: *workers,
 		Reps:    *reps,
+		Seed:    *seed,
 		OnResult: func(r report.Result) {
 			done++
 			status := fmt.Sprintf("%12s  iters=%d", report.FmtSec(r.TimeSec), r.Iters)
@@ -122,6 +137,9 @@ func main() {
 	if sc := set.ScalingTable(); sc != "" {
 		fmt.Print(sc)
 	}
+	if dg := set.DegradationTable(); dg != "" {
+		fmt.Print(dg)
+	}
 
 	if *outFile != "" {
 		if err := report.WriteFile(*outFile, set); err != nil {
@@ -133,11 +151,36 @@ func main() {
 	if base != nil {
 		fmt.Println()
 		fmt.Print(report.Diff(base, set))
+		if *failDelta != 0 {
+			if v := report.Regressions(base, set, *failDelta); len(v) > 0 {
+				fmt.Fprintf(os.Stderr, "\nregression check failed (±%.2f%%):\n", *failDelta)
+				for _, line := range v {
+					fmt.Fprintf(os.Stderr, "  %s\n", line)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("\nregression check passed (±%.2f%%)\n", *failDelta)
+		}
 	}
 }
 
+// addStaticIfMissing extends the scenario axis with "static" when only
+// dynamic scenarios are selected; it reports whether it did.
+func addStaticIfMissing(spec *matrix.Spec) bool {
+	if len(spec.Scenarios) == 0 {
+		return false
+	}
+	for _, s := range spec.Scenarios {
+		if s == "static" {
+			return false
+		}
+	}
+	spec.Scenarios = append([]string{"static"}, spec.Scenarios...)
+	return true
+}
+
 // buildSpec assembles the sweep spec from the axis filters.
-func buildSpec(env, mode, grid, problem, procs, sizes string) (matrix.Spec, error) {
+func buildSpec(env, mode, grid, problem, procs, sizes, scenarios string) (matrix.Spec, error) {
 	spec := matrix.DefaultSpec()
 	var err error
 	if spec.Envs, err = matrix.ParseEnvs(env); err != nil {
@@ -153,6 +196,11 @@ func buildSpec(env, mode, grid, problem, procs, sizes string) (matrix.Spec, erro
 	}
 	if problem != "" {
 		if spec.Problems, err = matrix.ParseProblems(problem); err != nil {
+			return spec, err
+		}
+	}
+	if scenarios != "" {
+		if spec.Scenarios, err = matrix.ParseScenarios(scenarios); err != nil {
 			return spec, err
 		}
 	}

@@ -9,6 +9,7 @@
 //	aiacrun -env pm2 -mode async -grid 3site -procs 12 -n 60000
 //	aiacrun -env mpi -mode sync  -grid local -procs 8
 //	aiacrun -env madmpi -grid adsl -balanced
+//	aiacrun -env pm2 -grid adsl -scenario flaky-adsl   # under grid dynamics
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"aiac/internal/la"
 	"aiac/internal/matrix"
 	"aiac/internal/problems"
+	"aiac/internal/scenario"
 	"aiac/internal/trace"
 )
 
@@ -35,11 +37,19 @@ func main() {
 		rho      = flag.Float64("rho", 0.88, "diagonal dominance ratio (spectral bound)")
 		eps      = flag.Float64("eps", 1e-7, "convergence threshold")
 		maxIters = flag.Int("maxiters", 1000000, "per-processor iteration cap")
-		seed     = flag.Int64("seed", 1, "matrix generator seed")
+		matseed  = flag.Int64("matseed", 1, "matrix generator seed")
+		seed     = flag.Int64("seed", 0, "network-jitter seed, as in aiacbench (0 = jitter off)")
 		balanced = flag.Bool("balanced", false, "speed-proportional row blocks")
 		gantt    = flag.Bool("gantt", false, "print the execution-flow chart")
+		scenF    = flag.String("scenario", "static", "grid-dynamics scenario (one of: static, flaky-adsl, diurnal-load, node-churn, lossy-wan)")
 	)
 	flag.Parse()
+
+	scen, err := scenario.ByName(*scenF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	modes, err := matrix.ParseModes(*mode)
 	if err != nil || len(modes) != 1 {
@@ -78,14 +88,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	prob := problems.NewLinear(*n, *diags, *rho, *seed)
+	if *seed != 0 {
+		grid.Net.SetJitter(0.02, *seed)
+	}
+	rt := scenario.Deploy(scen, grid)
+	prob := problems.NewLinear(*n, *diags, *rho, *matseed)
 	if *balanced {
 		prob.Weights = grid.SpeedWeights()
 	}
-	cfg := aiac.Config{Mode: m, Eps: *eps, MaxIters: *maxIters, Trace: tr}
+	cfg := aiac.Config{Mode: m, Eps: *eps, MaxIters: *maxIters, Trace: tr, Dynamics: rt}
 
-	fmt.Printf("solving n=%d (%d diagonals, rho<%.2f) on %s with %s, %s, %d procs\n",
-		*n, *diags, *rho, *gridName, env.Name(), m, *procs)
+	fmt.Printf("solving n=%d (%d diagonals, rho<%.2f) on %s with %s, %s, %d procs, scenario %s\n",
+		*n, *diags, *rho, *gridName, env.Name(), m, *procs, scen.Name)
 	rep := aiac.Run(grid, env, prob, cfg)
 
 	fmt.Printf("\nresult:        %s\n", rep.Reason)
@@ -93,9 +107,19 @@ func main() {
 	fmt.Printf("iterations:    %v (total %d)\n", rep.ItersPerRank, rep.TotalIters())
 	fmt.Printf("error vs true: %.3e\n", la.MaxNormDiff(rep.X, prob.XTrue))
 	fmt.Printf("state msgs:    %d\n", rep.StateMsgs)
+	if scen.Name != "static" {
+		fmt.Printf("scenario:      %d events applied", rt.Events())
+		if rep.Restarts > 0 {
+			fmt.Printf(", %d restarts", rep.Restarts)
+		}
+		if rep.Reconverge > 0 {
+			fmt.Printf(", reconverged %v after the last perturbation", rep.Reconverge)
+		}
+		fmt.Println()
+	}
 	st := grid.Net.StatsSnapshot()
-	fmt.Printf("network:       %d messages, %.1f MB (%d inter-site)\n",
-		st.Messages, float64(st.Bytes)/1e6, st.InterSite)
+	fmt.Printf("network:       %d messages, %.1f MB (%d inter-site, %d dropped)\n",
+		st.Messages, float64(st.Bytes)/1e6, st.InterSite, st.Dropped)
 	if *gantt {
 		fmt.Println()
 		fmt.Print(tr.Gantt(96))

@@ -1,13 +1,18 @@
-// Command aiactrace renders the execution-flow figures of the paper: the
-// SISC trace with idle gaps between iterations (Figure 1) and the AIAC
-// trace without them (Figure 2), as ASCII Gantt charts.
+// Command aiactrace renders execution-flow charts.
 //
-// Usage:
+// By default it regenerates the paper's figures: the SISC trace with idle
+// gaps between iterations (Figure 1) and the AIAC trace without them
+// (Figure 2), as ASCII Gantt charts.
 //
-//	aiactrace              # both figures
-//	aiactrace -mode sisc   # Figure 1 only
-//	aiactrace -mode aiac   # Figure 2 only
-//	aiactrace -width 120   # wider chart
+// Given cell flags, it instead traces one cell of the experiment matrix —
+// the flags are parsed by the same axis parsing as cmd/aiacbench and
+// cmd/aiacrun (internal/matrix), so any cell printed by a sweep can be
+// traced verbatim, including under a grid-dynamics scenario:
+//
+//	aiactrace                                  # Figures 1 and 2
+//	aiactrace -figure sisc -width 120          # Figure 1 only, wider chart
+//	aiactrace -env pm2 -mode async -grid adsl -procs 8 -n 3000
+//	aiactrace -env mpi -mode sync -grid adsl -scenario flaky-adsl
 package main
 
 import (
@@ -16,32 +21,145 @@ import (
 	"os"
 
 	"aiac/internal/bench"
+	"aiac/internal/matrix"
+	"aiac/internal/report"
+	"aiac/internal/trace"
 )
 
 func main() {
 	var (
-		mode  = flag.String("mode", "both", "sisc, aiac or both")
-		width = flag.Int("width", 72, "chart width in characters")
+		figure = flag.String("figure", "both", "paper figure to render when no cell flags are given: sisc, aiac or both")
+		width  = flag.Int("width", 72, "chart width in characters")
+
+		// Cell flags, shared with aiacbench/aiacrun (internal/matrix).
+		envF     = flag.String("env", "", "environment of the cell to trace (mpi, pm2, madmpi, omniorb)")
+		modeF    = flag.String("mode", "async", "iteration scheme of the cell: async or sync")
+		gridF    = flag.String("grid", "3site", "grid: 3site, adsl, local, multiproto")
+		problemF = flag.String("problem", "linear", "problem: linear or chem")
+		procs    = flag.Int("procs", 8, "number of processors")
+		size     = flag.Int("n", 0, "problem size (0 = per-problem default)")
+		scenF    = flag.String("scenario", "static", "grid-dynamics scenario")
+		seed     = flag.Int64("seed", 0, "network-jitter seed (0 = off), as in aiacbench")
 	)
 	flag.Parse()
 
-	sisc, async := bench.Figures12(bench.DefaultScale())
-	switch *mode {
-	case "sisc":
-		fmt.Println("Figure 1: execution flow of a SISC algorithm with two processors")
-		fmt.Print(sisc.Gantt(*width))
-	case "aiac":
-		fmt.Println("Figure 2: execution flow of an AIAC algorithm with two processors")
-		fmt.Print(async.Gantt(*width))
-	case "both":
-		fmt.Println("Figure 1: execution flow of a SISC algorithm with two processors")
-		fmt.Print(sisc.Gantt(*width))
-		fmt.Printf("\nmean idle fraction: %.1f%%\n\n", 100*sisc.MeanIdleFraction())
-		fmt.Println("Figure 2: execution flow of an AIAC algorithm with two processors")
-		fmt.Print(async.Gantt(*width))
-		fmt.Printf("\nmean idle fraction: %.1f%%\n", 100*async.MeanIdleFraction())
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+	// The two modes are disjoint: reject flags from the other one instead
+	// of silently ignoring them (same policy as aiacbench).
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	cellFlags := []string{"mode", "grid", "problem", "procs", "n", "scenario", "seed"}
+	if *envF == "" {
+		for _, name := range cellFlags {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "-%s selects a matrix cell to trace and needs -env (figure mode ignores it)\n", name)
+				os.Exit(2)
+			}
+		}
+		// Figure mode: the canned two-processor traces of §4.1.
+		sisc, async := bench.Figures12(bench.DefaultScale())
+		switch *figure {
+		case "sisc":
+			fmt.Println("Figure 1: execution flow of a SISC algorithm with two processors")
+			fmt.Print(sisc.Gantt(*width))
+		case "aiac":
+			fmt.Println("Figure 2: execution flow of an AIAC algorithm with two processors")
+			fmt.Print(async.Gantt(*width))
+		case "both":
+			fmt.Println("Figure 1: execution flow of a SISC algorithm with two processors")
+			fmt.Print(sisc.Gantt(*width))
+			fmt.Printf("\nmean idle fraction: %.1f%%\n\n", 100*sisc.MeanIdleFraction())
+			fmt.Println("Figure 2: execution flow of an AIAC algorithm with two processors")
+			fmt.Print(async.Gantt(*width))
+			fmt.Printf("\nmean idle fraction: %.1f%%\n", 100*async.MeanIdleFraction())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q (want sisc, aiac or both); to trace a matrix cell, pass -env\n", *figure)
+			os.Exit(2)
+		}
+		return
+	}
+	if explicit["figure"] {
+		fmt.Fprintln(os.Stderr, "-figure renders the paper's canned figures and conflicts with tracing a cell (-env)")
 		os.Exit(2)
 	}
+
+	cell, spec, err := buildCell(*envF, *modeF, *gridF, *problemF, *scenF, *procs, *size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("tracing %s\n", cell.Key())
+	tr := trace.New()
+	r, err := matrix.RunCellOnce(cell, spec, 0, *seed, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(tr.Gantt(*width))
+	status := "converged"
+	if !r.Converged {
+		status = "did not converge"
+	}
+	if r.Stalled {
+		status = "STALLED"
+	}
+	fmt.Printf("\n%s: %s in %s (%d iters), mean idle fraction %.1f%%\n",
+		cell.Key(), status, report.FmtSec(r.TimeSec), r.Iters, 100*tr.MeanIdleFraction())
+	if r.ReconvergeSec > 0 {
+		fmt.Printf("reconverged %s after the last perturbation\n", report.FmtSec(r.ReconvergeSec))
+	}
+}
+
+// buildCell resolves the cell flags through the shared matrix axis parsing.
+func buildCell(env, mode, grid, problem, scen string, procs, size int) (matrix.Cell, matrix.Spec, error) {
+	spec := matrix.DefaultSpec()
+	var c matrix.Cell
+	envs, err := matrix.ParseEnvs(env)
+	if err != nil || len(envs) != 1 {
+		if err == nil {
+			err = fmt.Errorf("-env takes a single environment")
+		}
+		return c, spec, err
+	}
+	modes, err := matrix.ParseModes(mode)
+	if err != nil || len(modes) != 1 {
+		if err == nil {
+			err = fmt.Errorf("-mode takes a single mode")
+		}
+		return c, spec, err
+	}
+	grids, err := matrix.ParseGrids(grid)
+	if err != nil || len(grids) != 1 {
+		if err == nil {
+			err = fmt.Errorf("-grid takes a single grid")
+		}
+		return c, spec, err
+	}
+	problems, err := matrix.ParseProblems(problem)
+	if err != nil || len(problems) != 1 {
+		if err == nil {
+			err = fmt.Errorf("-problem takes a single problem")
+		}
+		return c, spec, err
+	}
+	scens, err := matrix.ParseScenarios(scen)
+	if err != nil || len(scens) != 1 {
+		if err == nil {
+			err = fmt.Errorf("-scenario takes a single scenario")
+		}
+		return c, spec, err
+	}
+	c = matrix.Cell{
+		Env: envs[0], Mode: modes[0], Grid: grids[0], Problem: problems[0],
+		Procs: procs, Size: size, Scenario: scens[0],
+	}
+	if c.Size == 0 {
+		c.Size = matrix.DefaultSizeFor(c.Problem)
+	}
+	if procs < 1 {
+		return c, spec, fmt.Errorf("-procs must be positive")
+	}
+	if !matrix.Supported(c.Env, c.Mode) {
+		return c, spec, fmt.Errorf("%s does not support %s mode (mono-threaded MPI has no receive threads)", c.Env, c.Mode)
+	}
+	return c, spec, nil
 }

@@ -189,6 +189,23 @@ type Problem interface {
 	Update(rank int, bounds []int, x []float64) (residual, flops float64)
 }
 
+// Dynamics is the engine-facing view of a grid-dynamics scenario
+// (internal/scenario implements it). The engine polls the crash epoch at
+// iteration boundaries: an epoch change means "this rank's node crashed and
+// restarted since we last looked" — the rank parks until the node is up,
+// then loses its state (iterate vector, convergence bookkeeping) and
+// resumes from the initial guess, which is what forces the convergence
+// detector to re-detect convergence after the perturbation.
+type Dynamics interface {
+	// Epoch returns the crash count of a rank.
+	Epoch(rank int) int
+	// WaitUp blocks p until the rank's node is up.
+	WaitUp(p *des.Proc, rank int)
+	// LastEventBefore returns the latest perturbation time at or before
+	// t, and whether any perturbation happened by then.
+	LastEventBefore(t des.Time) (des.Time, bool)
+}
+
 // Config tunes a solve.
 type Config struct {
 	// Mode selects AIAC (Async) or SISC (Sync).
@@ -209,8 +226,22 @@ type Config struct {
 	// backstop against reordering, not the primary safety mechanism.
 	// Default 1ms of virtual time.
 	StopGrace des.Time
+	// StateHeartbeat makes a processor that has confirmed local
+	// convergence re-send its state to the coordinator at this interval
+	// until the stop arrives. Under a static grid this is redundant —
+	// control messages are never lost — but under grid-dynamics scenarios
+	// a partition or crash can swallow a confirmation (or the stop
+	// broadcast itself), and without retransmission the centralized
+	// detection of §4.3 deadlocks. The coordinator re-broadcasts stop
+	// when a heartbeat arrives after it has already stopped. Default
+	// 500ms of virtual time.
+	StateHeartbeat des.Time
 	// Trace, when non-nil, records execution flow for Figures 1-2.
 	Trace *trace.Collector
+	// Dynamics, when non-nil, is the grid-dynamics scenario perturbing
+	// this solve (crash epochs and perturbation times; the network and
+	// CPU mutations happen underneath the engine).
+	Dynamics Dynamics
 }
 
 func (c Config) withDefaults() Config {
@@ -226,6 +257,9 @@ func (c Config) withDefaults() Config {
 	if c.StopGrace <= 0 {
 		c.StopGrace = 1e6 // 1ms floor; see the field comment
 	}
+	if c.StateHeartbeat <= 0 {
+		c.StateHeartbeat = 500e6 // 500ms
+	}
 	return c
 }
 
@@ -237,6 +271,11 @@ const (
 	StopConverged StopReason = "converged"
 	// StopIterCap means at least one rank hit MaxIters first.
 	StopIterCap StopReason = "iteration-cap"
+	// StopStalled means the simulation's event queue drained with at
+	// least one rank still blocked — the fate of a synchronous exchange
+	// whose partner crashed or whose messages were lost. Asynchronous
+	// iterations cannot stall this way: they never block on a peer.
+	StopStalled StopReason = "stalled"
 )
 
 // Report is the outcome of one engine run.
@@ -258,6 +297,22 @@ type Report struct {
 	// coordinator (§4.3: several per rank are possible because local
 	// convergence may oscillate).
 	StateMsgs int
+	// Stalled reports that at least one rank never finished (see
+	// StopStalled); Elapsed then measures up to the last simulated event.
+	Stalled bool
+	// Reconverge is the time from the last scenario perturbation the run
+	// experienced to the end of a converged run — how long the algorithm
+	// needed to re-detect convergence after the grid stopped changing
+	// underneath it. Zero for static runs and runs that did not converge.
+	Reconverge des.Time
+	// Restarts counts rank crash/restart cycles observed during the run.
+	Restarts int
+	// TaintedRestarts counts ranks that finished with an unvalidated
+	// block: they lost their state in a crash and the stop arrived before
+	// they re-confirmed local convergence (the stop decision raced with
+	// the crash). A converged run with TaintedRestarts > 0 carries at
+	// least one block that may be far from the fixed point.
+	TaintedRestarts int
 }
 
 // TotalIters sums ItersPerRank.

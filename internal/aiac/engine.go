@@ -33,16 +33,19 @@ func Run(grid *cluster.Grid, env Env, prob Problem, cfg Config) *Report {
 
 	e := &run{
 		grid: grid, env: env, prob: prob, cfg: cfg,
-		bounds: bounds, plan: plan,
-		xs:          make([][]float64, nranks),
-		iters:       make([]int, nranks),
-		finish:      make([]des.Time, nranks),
-		heard:       make([]map[int]bool, nranks),
-		lastArrival: make([]map[int]des.Time, nranks),
-		dirty:       make([]bool, nranks),
-		maxGap:      make([]des.Time, nranks),
-		capped:      make([]bool, nranks),
-		coord:       newCoordinator(nranks),
+		bounds: bounds, plan: plan, x0: x0,
+		xs:            make([][]float64, nranks),
+		iters:         make([]int, nranks),
+		finish:        make([]des.Time, nranks),
+		done:          make([]bool, nranks),
+		heard:         make([]map[int]bool, nranks),
+		lastArrival:   make([]map[int]des.Time, nranks),
+		dirty:         make([]bool, nranks),
+		maxGap:        make([]des.Time, nranks),
+		capped:        make([]bool, nranks),
+		epochs:        make([]int, nranks),
+		needReconfirm: make([]bool, nranks),
+		coord:         newCoordinator(nranks),
 	}
 	for r := 0; r < nranks; r++ {
 		e.xs[r] = make([]float64, len(x0))
@@ -58,10 +61,19 @@ func Run(grid *cluster.Grid, env Env, prob Problem, cfg Config) *Report {
 	sim.Run()
 
 	end := start
-	for _, f := range e.finish {
+	stalled := false
+	for r, f := range e.finish {
+		if !e.done[r] {
+			stalled = true
+		}
 		if f > end {
 			end = f
 		}
+	}
+	if stalled && sim.Now() > end {
+		// The queue drained with ranks still blocked: the simulation got
+		// exactly as far as its last event.
+		end = sim.Now()
 	}
 	rep := &Report{
 		Elapsed:      end - start,
@@ -71,13 +83,28 @@ func Run(grid *cluster.Grid, env Env, prob Problem, cfg Config) *Report {
 		ItersPerRank: e.iters,
 		Reason:       StopIterCap,
 		StateMsgs:    e.coord.msgs,
+		Stalled:      stalled,
+		Restarts:     e.restarts,
+	}
+	for _, nc := range e.needReconfirm {
+		if nc {
+			rep.TaintedRestarts++
+		}
 	}
 	anyCapped := false
 	for _, c := range e.capped {
 		anyCapped = anyCapped || c
 	}
-	if e.coord.stopped && !anyCapped {
+	switch {
+	case stalled:
+		rep.Reason = StopStalled
+	case e.coord.stopped && !anyCapped:
 		rep.Reason = StopConverged
+	}
+	if cfg.Dynamics != nil && rep.Reason == StopConverged {
+		if at, ok := cfg.Dynamics.LastEventBefore(end); ok && end > at {
+			rep.Reconverge = end - at
+		}
 	}
 	for r := 0; r < nranks; r++ {
 		copy(rep.X[bounds[r]:bounds[r+1]], e.xs[r][bounds[r]:bounds[r+1]])
@@ -93,15 +120,54 @@ type run struct {
 	cfg         Config
 	bounds      []int
 	plan        *SendPlan
+	x0          []float64
 	xs          [][]float64
 	iters       []int
 	finish      []des.Time
+	done        []bool
 	heard       []map[int]bool
 	lastArrival []map[int]des.Time
 	dirty       []bool
 	maxGap      []des.Time
 	capped      []bool
-	coord       *coordinator
+	epochs      []int // crash epoch last seen per rank (Config.Dynamics)
+	restarts    int
+	// needReconfirm[r] is set on a post-crash state loss and cleared when
+	// the rank re-confirms local convergence; a rank still flagged when
+	// the stop arrives finished with an unvalidated block.
+	needReconfirm []bool
+	coord         *coordinator
+}
+
+// crashed reports whether rank r's node crashed since the engine last
+// looked (its scenario crash epoch advanced).
+func (e *run) crashed(r int) bool {
+	return e.cfg.Dynamics != nil && e.cfg.Dynamics.Epoch(r) != e.epochs[r]
+}
+
+// recoverRank implements a restart after a crash: the rank's process parks
+// until the node is back up, then loses its state — iterate vector back to
+// the initial guess (own block *and* ghost values), dependency channels
+// unheard, arrival bookkeeping cleared — so the convergence detector must
+// re-confirm everything it knew about this rank. It also marks the rank as
+// needing re-confirmation: if the stop decision races with the crash (the
+// coordinator collected this rank's confirmation, stopped, and the rank
+// then lost its state before re-validating it), the run's convergence
+// claim no longer covers this rank's block — see Report.TaintedRestarts.
+func (e *run) recoverRank(p *des.Proc, r int) {
+	e.cfg.Dynamics.WaitUp(p, r)
+	e.epochs[r] = e.cfg.Dynamics.Epoch(r)
+	e.restarts++
+	e.needReconfirm[r] = true
+	copy(e.xs[r], e.x0)
+	for k := range e.heard[r] {
+		delete(e.heard[r], k)
+	}
+	for k := range e.lastArrival[r] {
+		delete(e.lastArrival[r], k)
+	}
+	e.maxGap[r] = 0
+	e.dirty[r] = true
 }
 
 // runRank is the body of one iterating processor.
@@ -130,6 +196,13 @@ func (e *run) runRank(p *des.Proc, r int) {
 	if r == 0 {
 		e.coord.reset()
 		comm.SetStateSink(func(tp *des.Proc, st StateMsg) {
+			if e.coord.stopped {
+				// A state message after the stop means its sender missed
+				// the broadcast (a partition swallowed it): repeat the
+				// stop rather than letting that rank run to its cap.
+				comm.BroadcastStop(tp)
+				return
+			}
 			if st.MaxGap > e.coord.maxGap {
 				e.coord.maxGap = st.MaxGap
 			}
@@ -151,6 +224,10 @@ func (e *run) runRank(p *des.Proc, r int) {
 		})
 	}
 
+	if e.cfg.Dynamics != nil {
+		e.epochs[r] = e.cfg.Dynamics.Epoch(r)
+	}
+
 	// §4.3: "only the first iteration begins at the same time on all the
 	// processors"; and the non-linear problem synchronises between time
 	// steps.
@@ -162,6 +239,7 @@ func (e *run) runRank(p *des.Proc, r int) {
 		e.runAsync(p, r, comm, cpu, x)
 	}
 	e.finish[r] = p.Now()
+	e.done[r] = true
 }
 
 // cpuIface is the slice of marcel.CPU the engine needs (kept implicit; the
@@ -194,10 +272,26 @@ func (e *run) runAsync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64)
 	// confirmed to the coordinator.
 	phase := 0
 	var convergedAt des.Time
+	var lastStateAt des.Time
 	e.dirty[r] = true
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		if stop.IsOpen() {
 			break
+		}
+		if e.crashed(r) {
+			// The node went down since the previous iteration: park until
+			// restart, lose state, and retreat if the coordinator had our
+			// convergence confirmation.
+			e.recoverRank(p, r)
+			if phase == 2 {
+				seq++
+				comm.SendState(p, StateMsg{From: r, Converged: false, Seq: seq, MaxGap: e.maxGap[r]})
+			}
+			streak, phase = 0, 0
+			lastRes, lastFlops = 0, 0
+			if stop.IsOpen() {
+				break
+			}
 		}
 		// One local iteration using the last available dependency values.
 		t0 := p.Now()
@@ -240,6 +334,7 @@ func (e *run) runAsync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64)
 				// converged.
 				seq++
 				comm.SendState(p, StateMsg{From: r, Converged: false, Seq: seq, MaxGap: e.maxGap[r]})
+				lastStateAt = p.Now()
 			}
 			phase = 0
 		case phase == 0:
@@ -249,8 +344,18 @@ func (e *run) runAsync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64)
 			// Confirmed: every channel has delivered data sent after
 			// we converged and the residual stayed below eps.
 			phase = 2
+			e.needReconfirm[r] = false
 			seq++
 			comm.SendState(p, StateMsg{From: r, Converged: true, Seq: seq, MaxGap: e.maxGap[r]})
+			lastStateAt = p.Now()
+		case phase == 2 && p.Now()-lastStateAt >= cfg.StateHeartbeat:
+			// Heartbeat (see Config.StateHeartbeat): re-announce the
+			// confirmation in case a perturbation swallowed it — or
+			// swallowed the coordinator's stop broadcast, which the
+			// coordinator repeats on hearing a post-stop heartbeat.
+			seq++
+			comm.SendState(p, StateMsg{From: r, Converged: true, Seq: seq, MaxGap: e.maxGap[r]})
+			lastStateAt = p.Now()
 		}
 	}
 }
@@ -278,6 +383,13 @@ func (e *run) allChannelsFreshSince(r int, t des.Time) bool {
 func (e *run) runSync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64) {
 	cfg := e.cfg
 	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if e.crashed(r) {
+			// Restart with state loss. The lockstep is already broken —
+			// messages to this node were dropped while it was down, so the
+			// exchange below typically stalls; the stall is the measured
+			// outcome, not an error (SISC has no recovery protocol).
+			e.recoverRank(p, r)
+		}
 		t0 := p.Now()
 		res, flops := e.prob.Update(r, e.bounds, x)
 		cpu.Compute(p, flops)
@@ -297,6 +409,9 @@ func (e *run) runSync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64) 
 		global := comm.AllreduceMax(p, res)
 		cfg.Trace.AddSpan(r, t1, p.Now(), trace.Idle, iter)
 		if global < cfg.Eps {
+			// The global reduction just validated every block, including
+			// any restarted one: the state loss has been recomputed away.
+			e.needReconfirm[r] = false
 			e.coord.stopped = true
 			break
 		}

@@ -15,6 +15,7 @@ package des
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -61,12 +62,13 @@ type Simulator struct {
 	yielded chan struct{}
 	failure any // first panic recovered from a process
 	events  uint64
-	procs   int // live (not yet finished) processes
+	procs   int           // live (not yet finished) processes
+	live    map[int]*Proc // live processes by id (for Shutdown)
 }
 
 // New returns an empty simulator with the clock at zero.
 func New() *Simulator {
-	return &Simulator{yielded: make(chan struct{})}
+	return &Simulator{yielded: make(chan struct{}), live: make(map[int]*Proc)}
 }
 
 // Now returns the current virtual time.
@@ -102,16 +104,24 @@ func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 	}
 	s.procs++
+	s.live[p.id] = p
 	go func() {
 		<-p.resume // wait for first activation
 		defer func() {
 			if r := recover(); r != nil {
-				p.sim.failure = fmt.Sprintf("des: process %q panicked: %v", p.name, r)
+				if _, isKill := r.(killSentinel); !isKill {
+					p.sim.failure = fmt.Sprintf("des: process %q panicked: %v", p.name, r)
+				}
 			}
 			p.done = true
 			p.sim.procs--
+			delete(p.sim.live, p.id)
 			p.sim.yielded <- struct{}{}
 		}()
+		if p.killed {
+			// Shutdown reached a process that was never activated.
+			panic(killSentinel{})
+		}
 		body(p)
 	}()
 	s.Schedule(s.now, func() { s.activate(p) })
@@ -139,6 +149,42 @@ func (s *Simulator) Run() Time {
 		s.step()
 	}
 	return s.now
+}
+
+// killSentinel is the panic value that unwinds a process terminated by
+// Shutdown; the spawn wrapper recognises it and does not record a failure.
+type killSentinel struct{}
+
+// Shutdown terminates every live process and returns how many it reaped.
+// Call it only after Run has returned (the scheduler is idle): processes
+// still alive then are parked forever — a deadlocked synchronous exchange,
+// middleware threads blocked on their inboxes — and their goroutines (and
+// everything the simulation references) would otherwise leak for the life
+// of the host process, since Go cannot collect a blocked goroutine. Each
+// process unwinds via a panic that runs its deferred functions; the
+// simulator is unusable afterwards.
+func (s *Simulator) Shutdown() int {
+	n := 0
+	for _, p := range sortedLive(s.live) {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		s.activate(p)
+		n++
+	}
+	return n
+}
+
+// sortedLive returns the live processes in id order, so Shutdown's unwind
+// order is deterministic.
+func sortedLive(live map[int]*Proc) []*Proc {
+	out := make([]*Proc, 0, len(live))
+	for _, p := range live {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 // RunUntil executes events with timestamps <= deadline, leaves the clock at
@@ -169,6 +215,7 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	killed bool // set by Shutdown; the next resume unwinds the process
 
 	// recvSlot carries a value handed directly to a process that was
 	// blocked in Chan.Recv when a sender arrived.
@@ -192,6 +239,9 @@ func (p *Proc) Now() Time { return p.sim.now }
 func (p *Proc) yield() {
 	p.sim.yielded <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
 }
 
 // Sleep suspends the process for d of virtual time. Sleep(0) yields to any
@@ -203,6 +253,18 @@ func (p *Proc) Sleep(d Time) {
 	s := p.sim
 	s.Schedule(s.now+d, func() { s.activate(p) })
 	p.yield()
+}
+
+// SleepUntil suspends the process until the absolute virtual time t.
+// A time at or before now yields to same-time events and continues — the
+// natural loop body for timeline-driven processes (scenario drivers) whose
+// first events may be at time zero.
+func (p *Proc) SleepUntil(t Time) {
+	now := p.sim.now
+	if t < now {
+		t = now
+	}
+	p.Sleep(t - now)
 }
 
 // park blocks the process until something reactivates it via sim.activate

@@ -472,3 +472,35 @@ func TestGateWaitAfterOpenCostsNothing(t *testing.T) {
 	})
 	s.Run()
 }
+
+func TestShutdownReapsParkedProcs(t *testing.T) {
+	sim := New()
+	cleanedUp := 0
+	for i := 0; i < 3; i++ {
+		sim.Spawn("parked", func(p *Proc) {
+			defer func() { cleanedUp++ }()
+			p.Park() // nothing ever unparks it
+		})
+	}
+	finished := false
+	sim.Spawn("finisher", func(p *Proc) { finished = true })
+	sim.Run()
+	if !finished {
+		t.Fatal("finisher did not run")
+	}
+	if sim.LiveProcs() != 3 {
+		t.Fatalf("LiveProcs = %d before shutdown, want 3", sim.LiveProcs())
+	}
+	if n := sim.Shutdown(); n != 3 {
+		t.Fatalf("Shutdown reaped %d procs, want 3", n)
+	}
+	if sim.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after shutdown", sim.LiveProcs())
+	}
+	if cleanedUp != 3 {
+		t.Fatalf("deferred cleanup ran %d times, want 3", cleanedUp)
+	}
+	if sim.Shutdown() != 0 {
+		t.Fatal("second Shutdown found processes")
+	}
+}

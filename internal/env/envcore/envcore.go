@@ -431,8 +431,24 @@ func (ep *Endpoint) transmit(w *wire, finalTo int) {
 	w.finalTo = finalTo
 	dst := ep.env.eps[to]
 	sentAt := ep.env.grid.Sim.Now()
+	var opts []netsim.SendOpt
+	if w.kind == wData {
+		// Data-plane traffic is loss-eligible under lossy scenarios; the
+		// algorithm tolerates a lost update (the next send carries newer
+		// values). Control traffic stays reliable, as over TCP.
+		opts = append(opts, netsim.Unreliable())
+	}
 	_, err := net.Send(ep.rank, to, ep.wireBytes(w.payloadBytes), w, proto, func(m *netsim.Message) {
 		ww := m.Payload.(*wire)
+		if m.Dropped {
+			// Lost to the loss model or to a crashed endpoint. Release the
+			// sender's in-flight channel (the paper's send-skipping policy
+			// is per channel; a loss must not jam it forever) and discard.
+			if ww.hasKey && ww.senderEp != nil {
+				delete(ww.senderEp.inflight, ww.key)
+			}
+			return
+		}
 		if ww.hasKey && ww.senderEp != nil && ww.finalTo == dst.rank && !ww.rendezvous {
 			window := dst.env.opts.RecvWindow
 			if window <= 0 {
@@ -456,7 +472,7 @@ func (ep *Endpoint) transmit(w *wire, finalTo int) {
 		}
 		ep.env.opts.Trace.AddMsg(ww.from, dst.rank, sentAt, m.DeliverAt)
 		dst.receive(ww)
-	})
+	}, opts...)
 	if err != nil {
 		panic(fmt.Sprintf("env %s: transmit: %v", ep.env.opts.Name, err))
 	}

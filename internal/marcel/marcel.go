@@ -71,6 +71,10 @@ type CPU struct {
 
 	busy      des.Time // accumulated busy time
 	lastStart des.Time
+
+	// load is the background-load multiplier (SetBackgroundLoad); 0 or 1
+	// means unloaded.
+	load float64
 }
 
 type request struct {
@@ -112,6 +116,27 @@ func (c *CPU) Utilisation() float64 {
 	return float64(c.BusyTime()) / float64(now)
 }
 
+// SetBackgroundLoad sets the machine's background-load multiplier: CPU
+// requests issued from now on take factor times as long (competing
+// processes outside the simulated application — the diurnal load of a
+// shared desktop grid). factor 1 restores the unloaded machine. The
+// request currently on the CPU is unaffected; the change is
+// mutable-at-virtual-time, the CPU-side analogue of netsim.SetUplink.
+func (c *CPU) SetBackgroundLoad(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("marcel: background load factor %v < 1", factor))
+	}
+	c.load = factor
+}
+
+// BackgroundLoad returns the current background-load multiplier (>= 1).
+func (c *CPU) BackgroundLoad() float64 {
+	if c.load < 1 {
+		return 1
+	}
+	return c.load
+}
+
 // Use blocks p until it has consumed d of CPU time on this processor,
 // competing with other threads under the CPU's policy.
 func (c *CPU) Use(p *des.Proc, d des.Time) {
@@ -120,6 +145,9 @@ func (c *CPU) Use(p *des.Proc, d des.Time) {
 	}
 	if d == 0 {
 		return
+	}
+	if c.load > 1 {
+		d = des.Time(float64(d) * c.load)
 	}
 	r := &request{proc: p, remaining: d}
 	c.enqueue(r)

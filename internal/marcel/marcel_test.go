@@ -263,3 +263,34 @@ func TestPolicyString(t *testing.T) {
 		t.Fatal("policy strings wrong")
 	}
 }
+
+func TestBackgroundLoadScalesCPUUse(t *testing.T) {
+	sim := des.New()
+	c := NewCPU(sim, "cpu", 1000)
+	var first, second des.Time
+	sim.Spawn("worker", func(p *des.Proc) {
+		t0 := p.Now()
+		c.Use(p, 10*time.Millisecond)
+		first = p.Now() - t0
+		c.SetBackgroundLoad(3)
+		t1 := p.Now()
+		c.Use(p, 10*time.Millisecond)
+		second = p.Now() - t1
+		c.SetBackgroundLoad(1) // restore
+		t2 := p.Now()
+		c.Use(p, 10*time.Millisecond)
+		if got := p.Now() - t2; got != first {
+			t.Errorf("restored load: %v, want %v", got, first)
+		}
+	})
+	sim.Run()
+	if first != 10*time.Millisecond {
+		t.Fatalf("unloaded use took %v", first)
+	}
+	if second != 30*time.Millisecond {
+		t.Fatalf("3x-loaded use took %v, want 30ms", second)
+	}
+	if c.BackgroundLoad() != 1 {
+		t.Fatalf("BackgroundLoad() = %v", c.BackgroundLoad())
+	}
+}

@@ -1,10 +1,15 @@
 // Package matrix enumerates and schedules the paper's experiment matrix:
 // every measurement of the evaluation (§5) is one *cell* — an (environment,
-// mode, grid, problem, procs, size) combination — and a sweep is the set of
-// cells selected by a Spec, executed across a bounded pool of concurrent
-// discrete-event simulations and streamed into internal/report.
+// mode, grid, problem, procs, size, scenario) combination — and a sweep is
+// the set of cells selected by a Spec, executed across a bounded pool of
+// concurrent discrete-event simulations and streamed into internal/report.
 //
-// The axes are the ones the paper varies:
+// Six of the axes are the ones the paper varies; the seventh — scenario —
+// goes beyond it (internal/scenario): a scripted grid-dynamics timeline
+// (link flaps, background load, node churn, message loss) applied to the
+// cell's simulation, with "static" reproducing the paper's original grids.
+//
+// The paper's axes:
 //
 //   - environment: sync-mpi, PM2, MPICH/Madeleine, OmniORB (§2-3, Table 4);
 //   - mode: AIAC asynchronous iterations versus the synchronous SISC
@@ -38,6 +43,7 @@ import (
 	"aiac/internal/env/orb"
 	"aiac/internal/env/pm2"
 	"aiac/internal/report"
+	"aiac/internal/scenario"
 	"aiac/internal/trace"
 )
 
@@ -49,6 +55,9 @@ var (
 	GridNames = []string{"3site", "adsl", "local", "multiproto"}
 	// ProblemNames lists the test problems (§4.2).
 	ProblemNames = []string{"linear", "chem"}
+	// ScenarioNames lists the grid-dynamics presets (internal/scenario),
+	// the static grid first.
+	ScenarioNames = scenario.Names()
 	// Modes lists the iteration schemes, baseline first.
 	Modes = []aiac.Mode{aiac.Sync, aiac.Async}
 )
@@ -63,14 +72,18 @@ type Cell struct {
 	// Size is the problem size: unknowns for the linear system, the
 	// square discretisation-grid edge for the chemical problem.
 	Size int
+	// Scenario names the grid-dynamics preset applied to the cell's
+	// simulation ("" means static).
+	Scenario string
 }
 
-// Key identifies the cell: env/mode/grid/problem/pP/nN. It delegates to
-// report.Result.Key so a cell and its result always share one identity.
+// Key identifies the cell: env/mode/grid/problem/pP/nN/scenario. It
+// delegates to report.Result.Key so a cell and its result always share one
+// identity.
 func (c Cell) Key() string {
 	return report.Result{
 		Env: c.Env, Mode: c.Mode.String(), Grid: c.Grid,
-		Problem: c.Problem, Procs: c.Procs, Size: c.Size,
+		Problem: c.Problem, Procs: c.Procs, Size: c.Size, Scenario: c.Scenario,
 	}.Key()
 }
 
@@ -101,12 +114,13 @@ type ChemParams struct {
 // Spec selects the cells of a sweep. Empty axis slices mean "all values"
 // (for Sizes: the per-problem default).
 type Spec struct {
-	Envs     []string
-	Modes    []aiac.Mode
-	Grids    []string
-	Problems []string
-	Procs    []int
-	Sizes    []int
+	Envs      []string
+	Modes     []aiac.Mode
+	Grids     []string
+	Problems  []string
+	Procs     []int
+	Sizes     []int
+	Scenarios []string
 
 	Linear LinearParams
 	Chem   ChemParams
@@ -122,20 +136,21 @@ type Spec struct {
 // paper's qualitative shape (async ≫ sync on the ADSL grid).
 func DefaultSpec() Spec {
 	return Spec{
-		Envs:     EnvNames,
-		Modes:    Modes,
-		Grids:    []string{"3site", "adsl", "local"},
-		Problems: []string{"linear"},
-		Procs:    []int{8},
-		Linear:   LinearParams{Diags: 12, Rho: 0.85, Eps: 1e-5, MaxIters: 3000000, Seed: 20040426},
-		Chem:     ChemParams{StepS: 180, HorizonS: 540, Eps: 1e-6, GmresTol: 1e-6},
+		Envs:      EnvNames,
+		Modes:     Modes,
+		Grids:     []string{"3site", "adsl", "local"},
+		Problems:  []string{"linear"},
+		Procs:     []int{8},
+		Scenarios: []string{"static"},
+		Linear:    LinearParams{Diags: 12, Rho: 0.85, Eps: 1e-5, MaxIters: 3000000, Seed: 20040426},
+		Chem:      ChemParams{StepS: 180, HorizonS: 540, Eps: 1e-6, GmresTol: 1e-6},
 	}
 }
 
-// defaultSize is the per-problem problem size used when Spec.Sizes is
+// DefaultSizeFor is the per-problem problem size used when Spec.Sizes is
 // empty: big enough that exchange messages leave the small-message regime,
 // small enough for interactive sweeps.
-func defaultSize(problem string) int {
+func DefaultSizeFor(problem string) int {
 	if problem == "chem" {
 		return 36
 	}
@@ -143,29 +158,34 @@ func defaultSize(problem string) int {
 }
 
 // Cells enumerates the spec's cells in deterministic presentation order:
-// grouping axes (problem, grid, procs, size) outermost, then the versions
-// (mode × env, baseline first) — the row order of the paper's tables.
-// Unsupported (env, mode) pairs are skipped.
+// grouping axes (problem, grid, procs, size, scenario) outermost — the
+// static scenario first, so every dynamic group follows the baseline it is
+// compared against — then the versions (mode × env, baseline first), the
+// row order of the paper's tables. Unsupported (env, mode) pairs are
+// skipped.
 func (s Spec) Cells() []Cell {
 	s = s.withDefaults()
 	var cells []Cell
 	for _, prob := range s.Problems {
 		sizes := s.Sizes
 		if len(sizes) == 0 {
-			sizes = []int{defaultSize(prob)}
+			sizes = []int{DefaultSizeFor(prob)}
 		}
 		for _, grid := range s.Grids {
 			for _, procs := range s.Procs {
 				for _, size := range sizes {
-					for _, mode := range s.Modes {
-						for _, env := range s.Envs {
-							if !Supported(env, mode) {
-								continue
+					for _, scen := range s.Scenarios {
+						for _, mode := range s.Modes {
+							for _, env := range s.Envs {
+								if !Supported(env, mode) {
+									continue
+								}
+								cells = append(cells, Cell{
+									Env: env, Mode: mode, Grid: grid,
+									Problem: prob, Procs: procs, Size: size,
+									Scenario: scen,
+								})
 							}
-							cells = append(cells, Cell{
-								Env: env, Mode: mode, Grid: grid,
-								Problem: prob, Procs: procs, Size: size,
-							})
 						}
 					}
 				}
@@ -191,6 +211,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Procs) == 0 {
 		s.Procs = []int{8}
+	}
+	if len(s.Scenarios) == 0 {
+		s.Scenarios = []string{"static"}
 	}
 	if s.Linear == (LinearParams{}) {
 		s.Linear = d.Linear
@@ -241,6 +264,10 @@ func ParseGrids(csv string) ([]string, error) { return parseAxis("grid", csv, Gr
 
 // ParseProblems parses a problem filter ("linear"; "" = all).
 func ParseProblems(csv string) ([]string, error) { return parseAxis("problem", csv, ProblemNames) }
+
+// ParseScenarios parses a grid-dynamics scenario filter
+// ("static,flaky-adsl"; "" = all presets).
+func ParseScenarios(csv string) ([]string, error) { return parseAxis("scenario", csv, ScenarioNames) }
 
 // ParseModes parses a mode filter ("async,sync"; "" = both, baseline
 // first).

@@ -14,6 +14,8 @@ import (
 	"aiac/internal/la"
 	"aiac/internal/problems"
 	"aiac/internal/report"
+	"aiac/internal/scenario"
+	"aiac/internal/trace"
 )
 
 // Options tunes a sweep.
@@ -25,10 +27,18 @@ type Options struct {
 	Workers int
 	// Reps is the number of repetitions per cell, aggregated as
 	// median/min of the simulated time. Linear-problem repetition r
-	// perturbs the matrix seed to Seed+r; problems without a seed axis
-	// are fully deterministic, so their cells run once regardless (the
-	// result's Reps field records the count actually run). Default 1.
+	// perturbs the matrix seed to Seed+r; with a non-zero Seed (below),
+	// every repetition additionally gets its own network-jitter stream.
+	// Problems with neither a seed axis nor jitter are fully
+	// deterministic, so their cells run once regardless (the result's
+	// Reps field records the count actually run). Default 1.
 	Reps int
+	// Seed, when non-zero, enables per-message network latency jitter
+	// (±2%, netsim.SetJitter): repetition r of every cell draws from the
+	// deterministic stream Seed+r, so repetitions measure genuinely
+	// distinct executions and their median/min aggregation means
+	// something. Zero keeps the jitter-free bit-reproducible behaviour.
+	Seed int64
 	// OnResult, when non-nil, observes each cell's result as it
 	// completes (completion order; serialized by the runner).
 	OnResult func(report.Result)
@@ -63,7 +73,7 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				r := runCell(cells[i], spec, reps)
+				r := runCell(cells[i], spec, reps, opt.Seed)
 				results[i] = r
 				if opt.OnResult != nil {
 					mu.Lock()
@@ -84,31 +94,56 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 
 // measurement is one repetition's outcome.
 type measurement struct {
-	timeSec   float64
-	iters     int
-	messages  uint64
-	bytes     uint64
-	interSite uint64
-	residual  float64
-	converged bool
+	timeSec       float64
+	iters         int
+	messages      uint64
+	bytes         uint64
+	interSite     uint64
+	dropped       uint64
+	residual      float64
+	converged     bool
+	stalled       bool
+	reconvergeSec float64
+	restarts      int
+}
+
+// result converts the repetition into a single-rep report.Result for c.
+func (m measurement) result(c Cell) report.Result {
+	return report.Result{
+		Env: c.Env, Mode: c.Mode.String(), Grid: c.Grid, Problem: c.Problem,
+		Procs: c.Procs, Size: c.Size, Scenario: c.scenarioName(), Reps: 1,
+		TimeSec: m.timeSec, MinTimeSec: m.timeSec, Iters: m.iters,
+		Messages: m.messages, Bytes: m.bytes, InterSite: m.interSite,
+		Dropped: m.dropped, Residual: m.residual, Converged: m.converged,
+		Stalled: m.stalled, ReconvergeSec: m.reconvergeSec, Restarts: m.restarts,
+	}
+}
+
+// scenarioName normalises the cell's scenario ("" means static).
+func (c Cell) scenarioName() string {
+	if c.Scenario == "" {
+		return "static"
+	}
+	return c.Scenario
 }
 
 // runCell simulates one cell's repetitions and aggregates them.
-func runCell(c Cell, spec Spec, reps int) report.Result {
-	// Only the linear problem has a seed axis to perturb per repetition;
-	// the chemical simulation is fully deterministic, so extra reps would
-	// be bit-identical reruns — run it once.
-	if c.Problem != "linear" {
+func runCell(c Cell, spec Spec, reps int, seed int64) report.Result {
+	// Without a jitter seed, only the linear problem has a seed axis to
+	// perturb per repetition; the chemical simulation is then fully
+	// deterministic and extra reps would be bit-identical reruns — run it
+	// once.
+	if c.Problem != "linear" && seed == 0 {
 		reps = 1
 	}
 	out := report.Result{
 		Env: c.Env, Mode: c.Mode.String(), Grid: c.Grid, Problem: c.Problem,
-		Procs: c.Procs, Size: c.Size, Reps: reps,
+		Procs: c.Procs, Size: c.Size, Scenario: c.scenarioName(), Reps: reps,
 	}
 	t0 := time.Now()
 	ms := make([]measurement, 0, reps)
 	for rep := 0; rep < reps; rep++ {
-		m, err := runOnce(c, spec, rep)
+		m, err := runOnce(c, spec, rep, seed, nil)
 		if err != nil {
 			out.Error = err.Error()
 			out.HostSec = time.Since(t0).Seconds()
@@ -116,19 +151,16 @@ func runCell(c Cell, spec Spec, reps int) report.Result {
 		}
 		ms = append(ms, m)
 	}
-	out.HostSec = time.Since(t0).Seconds()
+	hostSec := time.Since(t0).Seconds()
 
 	// Median repetition (by simulated time) is the representative
-	// measurement; the fastest repetition is kept alongside.
+	// measurement; the fastest repetition is kept alongside, and a cell
+	// converged only if every repetition did.
 	sort.Slice(ms, func(i, j int) bool { return ms[i].timeSec < ms[j].timeSec })
-	med := ms[(len(ms)-1)/2]
-	out.TimeSec = med.timeSec
+	out = ms[(len(ms)-1)/2].result(c)
+	out.Reps = reps
+	out.HostSec = hostSec
 	out.MinTimeSec = ms[0].timeSec
-	out.Iters = med.iters
-	out.Messages = med.messages
-	out.Bytes = med.bytes
-	out.InterSite = med.interSite
-	out.Residual = med.residual
 	out.Converged = true
 	for _, m := range ms {
 		out.Converged = out.Converged && m.converged
@@ -136,17 +168,39 @@ func runCell(c Cell, spec Spec, reps int) report.Result {
 	return out
 }
 
+// RunCellOnce executes a single repetition of one cell — the entry point
+// for tracing a sweep cell verbatim (cmd/aiactrace): tr, when non-nil,
+// collects the execution flow and message deliveries of the run. seed
+// follows Options.Seed semantics. The returned Result reports that one
+// repetition (Reps == 1).
+func RunCellOnce(c Cell, spec Spec, rep int, seed int64, tr *trace.Collector) (report.Result, error) {
+	spec = spec.withDefaults()
+	m, err := runOnce(c, spec, rep, seed, tr)
+	if err != nil {
+		return report.Result{}, err
+	}
+	return m.result(c), nil
+}
+
 // runOnce executes one repetition of a cell in a fresh simulator.
-func runOnce(c Cell, spec Spec, rep int) (measurement, error) {
+func runOnce(c Cell, spec Spec, rep int, seed int64, tr *trace.Collector) (measurement, error) {
+	scen, err := scenario.ByName(c.scenarioName())
+	if err != nil {
+		return measurement{}, err
+	}
 	sim := des.New()
 	grid, err := NewGrid(sim, c.Grid, c.Procs)
 	if err != nil {
 		return measurement{}, err
 	}
-	env, err := NewEnv(grid, c.Env, c.Problem == "linear", nil)
+	if seed != 0 {
+		grid.Net.SetJitter(0.02, seed+int64(rep))
+	}
+	env, err := NewEnv(grid, c.Env, c.Problem == "linear", tr)
 	if err != nil {
 		return measurement{}, fmt.Errorf("deploying %s on %s: %w", c.Env, c.Grid, err)
 	}
+	rt := scenario.Deploy(scen, grid)
 
 	var m measurement
 	switch c.Problem {
@@ -155,11 +209,15 @@ func runOnce(c Cell, spec Spec, rep int) (measurement, error) {
 		prob := problems.NewLinear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
 		rpt := aiac.Run(grid, env, prob, aiac.Config{
 			Mode: c.Mode, Eps: lp.Eps, MaxIters: lp.MaxIters,
+			Trace: tr, Dynamics: rt,
 		})
 		m.timeSec = rpt.Elapsed.Seconds()
 		m.iters = rpt.TotalIters()
 		m.residual = la.MaxNormDiff(rpt.X, prob.XTrue)
-		m.converged = rpt.Reason == aiac.StopConverged
+		m.converged = rpt.Reason == aiac.StopConverged && rpt.TaintedRestarts == 0
+		m.stalled = rpt.Stalled
+		m.reconvergeSec = rpt.Reconverge.Seconds()
+		m.restarts = rpt.Restarts
 	case "chem":
 		cp := spec.Chem
 		p := chem.New(c.Size, c.Size)
@@ -175,11 +233,19 @@ func runOnce(c Cell, spec Spec, rep int) (measurement, error) {
 			// Multisplitting Newton (§4.2 strategy 2), asynchronous or
 			// lockstep according to the mode.
 			run = problems.RunChem(grid, env, p, p.InitialState(),
-				cp.StepS, cp.HorizonS, gp, aiac.Config{Mode: c.Mode, Eps: cp.Eps})
+				cp.StepS, cp.HorizonS, gp, aiac.Config{Mode: c.Mode, Eps: cp.Eps, Trace: tr, Dynamics: rt})
 		}
 		m.timeSec = run.Elapsed.Seconds()
 		m.iters = run.TotalIters()
 		m.converged = run.AllConverged()
+		for _, step := range run.Steps {
+			m.converged = m.converged && step.TaintedRestarts == 0
+			m.stalled = m.stalled || step.Stalled
+			m.restarts += step.Restarts
+			if s := step.Reconverge.Seconds(); s > m.reconvergeSec {
+				m.reconvergeSec = s
+			}
+		}
 	default:
 		return measurement{}, fmt.Errorf("unknown problem %q", c.Problem)
 	}
@@ -187,5 +253,10 @@ func runOnce(c Cell, spec Spec, rep int) (measurement, error) {
 	m.messages = st.Messages
 	m.bytes = st.Bytes
 	m.interSite = st.InterSite
+	m.dropped = st.Dropped
+	// Reap parked processes (stalled exchanges, middleware threads blocked
+	// on drained inboxes) so a big sweep of stall-producing scenarios does
+	// not accumulate unreclaimable goroutines and simulator heaps.
+	sim.Shutdown()
 	return m, nil
 }

@@ -16,6 +16,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"aiac/internal/des"
@@ -45,6 +46,22 @@ type LinkClass struct {
 // Symmetric returns a LinkClass with equal up and down bandwidth.
 func Symmetric(name string, latency des.Time, bps float64) LinkClass {
 	return LinkClass{Name: name, Latency: latency, UpBps: bps, DownBps: bps}
+}
+
+// Scaled returns the link with bandwidth divided by bwDiv and latency
+// multiplied by latMul, keeping the name (and hence the egress-pipe
+// identity) unchanged. It is the building block of link-degradation
+// scenarios: swapping a site's uplink for a Scaled copy at virtual time t
+// changes the path parameters of every message sent after t while messages
+// already in flight keep their send-time schedule.
+func (lc LinkClass) Scaled(bwDiv, latMul float64) LinkClass {
+	if bwDiv <= 0 || latMul <= 0 {
+		panic("netsim: link scale factors must be positive")
+	}
+	lc.UpBps /= bwDiv
+	lc.DownBps /= bwDiv
+	lc.Latency = des.Time(float64(lc.Latency) * latMul)
+	return lc
 }
 
 // Common link technologies used by the paper's grids.
@@ -108,6 +125,12 @@ type Message struct {
 	Proto     string
 	SentAt    des.Time
 	DeliverAt des.Time
+	// Dropped marks a message lost to the loss model or to a down
+	// endpoint. Dropped messages are still handed to the deliver callback
+	// at their would-be arrival time — with Dropped set — so senders can
+	// release flow-control state on the same schedule as a real loss
+	// detection; receivers must discard the payload.
+	Dropped bool
 }
 
 // Stats aggregates traffic counters.
@@ -116,10 +139,19 @@ type Stats struct {
 	Bytes       uint64
 	InterSite   uint64
 	IntraSite   uint64
+	Dropped     uint64
 	MaxInFlight int
 }
 
 // Network is the simulated interconnect.
+//
+// Sites, uplinks, loss rate, node liveness, and site partitions are mutable
+// at virtual time (SetUplink, SetLANs, SetLoss, SetDown, SetPartitioned):
+// mutations apply to messages sent after the mutation instant, while
+// in-flight messages keep the schedule computed when they were sent —
+// except that a message whose path is severed at its arrival instant (an
+// endpoint down, or a cut uplink on an inter-site path) is dropped: the
+// connection died with the link.
 type Network struct {
 	sim      *des.Simulator
 	sites    []Site
@@ -128,6 +160,27 @@ type Network struct {
 	blocked  map[[2]int]bool // site pairs with no direct visibility
 	stats    Stats
 	inFlight int
+
+	down        map[int]bool // nodes currently crashed
+	partitioned map[int]bool // sites whose uplink is currently cut
+
+	// lastDeliver enforces per-(from,to) FIFO delivery. The middlewares
+	// modelled here run their point-to-point channels over TCP, whose
+	// byte stream cannot reorder — and the engine's convergence
+	// confirmation protocol depends on that ("a confirmation guarantees
+	// no older data is still in flight"). Without the clamp, a link
+	// restored mid-scenario would let messages sent after the restore
+	// overtake slow in-flight ones from during the degradation.
+	lastDeliver map[[2]int]des.Time
+
+	// lossRate drops each loss-eligible (Unreliable) message with this
+	// probability; jitterFrac perturbs each message's propagation latency
+	// by a uniform factor in [0, jitterFrac). Both draw from rng, which is
+	// seeded deterministically (SetSeed; default seed 1 on first use), so
+	// a given configuration replays identically.
+	lossRate   float64
+	jitterFrac float64
+	rng        *rand.Rand
 }
 
 type egressKey struct {
@@ -156,11 +209,110 @@ func New(sim *des.Simulator, sites []Site) *Network {
 		}
 	}
 	return &Network{
-		sim:     sim,
-		sites:   sites,
-		egress:  make(map[egressKey]*pipe),
-		blocked: make(map[[2]int]bool),
+		sim:         sim,
+		sites:       sites,
+		egress:      make(map[egressKey]*pipe),
+		blocked:     make(map[[2]int]bool),
+		down:        make(map[int]bool),
+		partitioned: make(map[int]bool),
+		lastDeliver: make(map[[2]int]des.Time),
 	}
+}
+
+// --- Mutable-at-virtual-time parameters (grid-dynamics scenarios) ---
+
+// Uplink returns site's current uplink.
+func (n *Network) Uplink(site int) LinkClass { return n.sites[site].Uplink }
+
+// SetUplink replaces site's uplink. Messages sent after this instant use
+// the new parameters; in-flight messages are unaffected.
+func (n *Network) SetUplink(site int, lc LinkClass) { n.sites[site].Uplink = lc }
+
+// LANs returns a copy of site's LAN list (the first entry is the default).
+func (n *Network) LANs(site int) []LinkClass {
+	return append([]LinkClass(nil), n.sites[site].LANs...)
+}
+
+// SetLANs replaces site's LAN list. Keep protocol names stable (see
+// LinkClass.Scaled) so existing egress pipes keep their identity.
+func (n *Network) SetLANs(site int, lans []LinkClass) {
+	if len(lans) == 0 {
+		panic(fmt.Sprintf("netsim: site %d must keep at least one LAN", site))
+	}
+	n.sites[site].LANs = lans
+}
+
+// SetDown marks a node crashed (true) or restarted (false). While a node is
+// down, messages from it or to it — including messages already in flight at
+// crash time, in either direction — are delivered with Dropped set.
+func (n *Network) SetDown(node int, down bool) {
+	if down {
+		n.down[node] = true
+	} else {
+		delete(n.down, node)
+	}
+}
+
+// IsDown reports whether a node is currently crashed.
+func (n *Network) IsDown(node int) bool { return n.down[node] }
+
+// SetPartitioned cuts (true) or restores (false) a site's uplink: messages
+// crossing the site boundary — including messages already in flight when
+// the cut happens — are delivered with Dropped set. Intra-site traffic is
+// unaffected: the site's LAN does not go through the modem.
+func (n *Network) SetPartitioned(site int, p bool) {
+	if p {
+		n.partitioned[site] = true
+	} else {
+		delete(n.partitioned, site)
+	}
+}
+
+// IsPartitioned reports whether a site's uplink is currently cut.
+func (n *Network) IsPartitioned(site int) bool { return n.partitioned[site] }
+
+// lost reports whether a (from, to) message is severed by a down endpoint
+// or a cut uplink at this instant.
+func (n *Network) lost(from, to int) bool {
+	if n.down[from] || n.down[to] {
+		return true
+	}
+	sa, sb := n.nodes[from].Site, n.nodes[to].Site
+	return sa != sb && (n.partitioned[sa] || n.partitioned[sb])
+}
+
+// SetLoss sets the drop probability applied to loss-eligible messages sent
+// from now on (see Unreliable). Zero disables the loss model.
+func (n *Network) SetLoss(rate float64) {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("netsim: loss rate %v out of [0,1)", rate))
+	}
+	n.lossRate = rate
+}
+
+// SetJitter enables per-message latency jitter: each message's propagation
+// latency is multiplied by 1+u with u uniform in (-frac, +frac) — symmetric
+// around the jitter-free latency, so jittered repetitions vary around the
+// seedless run rather than being biased slow. Distinct seeds give distinct
+// deterministic streams — the mechanism behind per-repetition variation in
+// the experiment matrix. frac 0 disables jitter.
+func (n *Network) SetJitter(frac float64, seed int64) {
+	if frac < 0 {
+		panic("netsim: negative jitter fraction")
+	}
+	n.jitterFrac = frac
+	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetSeed reseeds the deterministic stream behind loss sampling and jitter.
+func (n *Network) SetSeed(seed int64) { n.rng = rand.New(rand.NewSource(seed)) }
+
+// random returns the shared deterministic stream, seeding it on first use.
+func (n *Network) random() *rand.Rand {
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(1))
+	}
+	return n.rng
 }
 
 // Sim returns the simulator the network is bound to.
@@ -279,15 +431,32 @@ func (n *Network) pipeFor(node int, lan LinkClass, proto string) *pipe {
 	return p
 }
 
+// SendOpt tunes one Send call.
+type SendOpt func(*sendCfg)
+
+type sendCfg struct{ unreliable bool }
+
+// Unreliable marks the message loss-eligible: it may be dropped by the
+// network's loss model (SetLoss). Callers use it for data-plane traffic
+// whose loss the layers above tolerate, and keep control-plane traffic
+// reliable (TCP-like).
+func Unreliable() SendOpt { return func(c *sendCfg) { c.unreliable = true } }
+
 // Send transmits bytes from one node to another and calls deliver with the
 // message at the computed arrival time. proto selects an intra-site LAN
 // protocol ("" or "tcp" for default). Send returns the delivery time.
 //
 // Send may be called from processes or event callbacks; deliver runs in
-// scheduler context (typically it pushes into a des.Chan inbox).
-func (n *Network) Send(from, to, bytes int, payload any, proto string, deliver func(*Message)) (des.Time, error) {
+// scheduler context (typically it pushes into a des.Chan inbox). deliver is
+// called even for messages lost to the loss model or to a crashed endpoint,
+// with Message.Dropped set (see Message).
+func (n *Network) Send(from, to, bytes int, payload any, proto string, deliver func(*Message), opts ...SendOpt) (des.Time, error) {
 	if !n.Reachable(from, to) {
 		return 0, ErrUnreachable{From: from, To: to}
+	}
+	var sc sendCfg
+	for _, o := range opts {
+		o(&sc)
 	}
 	path := n.PathBetween(from, to, proto)
 	now := n.sim.Now()
@@ -300,27 +469,52 @@ func (n *Network) Send(from, to, bytes int, payload any, proto string, deliver f
 	} else {
 		n.stats.IntraSite++
 	}
+	if n.lost(from, to) {
+		m.Dropped = true
+	}
+	if !m.Dropped && sc.unreliable && n.lossRate > 0 && n.random().Float64() < n.lossRate {
+		m.Dropped = true
+	}
+	lat := path.Latency
+	if n.jitterFrac > 0 {
+		lat = des.Time(float64(lat) * (1 + n.jitterFrac*(2*n.random().Float64()-1)))
+	}
 	n.inFlight++
 	if n.inFlight > n.stats.MaxInFlight {
 		n.stats.MaxInFlight = n.inFlight
 	}
-	finish := func(at des.Time) {
+	// finish schedules delivery and returns the actual delivery time after
+	// the FIFO clamp: a TCP byte stream between two endpoints cannot
+	// reorder, so a message never arrives before one sent earlier on the
+	// same (from, to) pair.
+	finish := func(at des.Time) des.Time {
+		pair := [2]int{from, to}
+		if prev := n.lastDeliver[pair]; at < prev {
+			at = prev
+		}
+		n.lastDeliver[pair] = at
 		m.DeliverAt = at
 		n.sim.Schedule(at, func() {
 			n.inFlight--
+			if n.lost(m.From, m.To) {
+				// Endpoint crashed or uplink cut while in flight.
+				m.Dropped = true
+			}
+			if m.Dropped {
+				n.stats.Dropped++
+			}
 			deliver(m)
 		})
+		return at
 	}
 
 	if path.Proto == "loopback" {
-		at := now + ser + path.Latency
-		finish(at)
-		return at, nil
+		return finish(now + ser + lat), nil
 	}
 	srcSite := n.sites[n.nodes[from].Site]
 	srcLAN, _ := srcSite.lan(proto)
 	_, egressEnd := n.pipeFor(from, srcLAN, path.Proto).reserve(now, ser)
-	arrival := egressEnd + path.Latency
+	arrival := egressEnd + lat
 	dstSite := n.sites[n.nodes[to].Site]
 	dstLAN := dstSite.defaultLAN()
 	if path.InterSite && dstLAN.Shared {
@@ -334,8 +528,7 @@ func (n *Network) Send(from, to, bytes int, payload any, proto string, deliver f
 		})
 		return arrival + ser, nil // estimate assuming an idle segment
 	}
-	finish(arrival)
-	return arrival, nil
+	return finish(arrival), nil
 }
 
 // Stats returns a copy of the traffic counters.

@@ -26,13 +26,16 @@ const Schema = 1
 // Result is the outcome of one experiment cell, aggregated over its
 // repetitions.
 type Result struct {
-	// Env, Mode, Grid, Problem, Procs and Size identify the cell.
-	Env     string `json:"env"`
-	Mode    string `json:"mode"`
-	Grid    string `json:"grid"`
-	Problem string `json:"problem"`
-	Procs   int    `json:"procs"`
-	Size    int    `json:"size"`
+	// Env, Mode, Grid, Problem, Procs, Size and Scenario identify the
+	// cell. An empty Scenario means "static" (files written before the
+	// grid-dynamics axis existed).
+	Env      string `json:"env"`
+	Mode     string `json:"mode"`
+	Grid     string `json:"grid"`
+	Problem  string `json:"problem"`
+	Procs    int    `json:"procs"`
+	Size     int    `json:"size"`
+	Scenario string `json:"scenario,omitempty"`
 
 	// Reps is the number of repetitions aggregated into this result.
 	Reps int `json:"reps"`
@@ -55,6 +58,20 @@ type Result struct {
 	// Converged reports whether every solve detected convergence rather
 	// than hitting the iteration cap.
 	Converged bool `json:"converged"`
+	// Stalled reports that the simulation deadlocked before finishing —
+	// a synchronous exchange whose partner crashed or whose messages were
+	// lost never completes (median rep).
+	Stalled bool `json:"stalled,omitempty"`
+	// ReconvergeSec is the virtual time from the last perturbation the
+	// run experienced to convergence — how long the algorithm needed to
+	// re-detect convergence once the grid stopped changing (median rep;
+	// 0 for static scenarios).
+	ReconvergeSec float64 `json:"reconverge_sec,omitempty"`
+	// Dropped counts network messages lost to the scenario's loss model
+	// or to crashed nodes (median rep).
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Restarts counts rank crash/restart cycles observed (median rep).
+	Restarts int `json:"restarts,omitempty"`
 	// HostSec is the host wall time spent simulating this cell (all
 	// repetitions). Not compared across runs.
 	HostSec float64 `json:"host_sec"`
@@ -63,15 +80,31 @@ type Result struct {
 	Error string `json:"error,omitempty"`
 }
 
-// Key identifies the cell within a set: env/mode/grid/problem/pP/nN.
+// ScenarioOrStatic returns the cell's scenario, normalising the empty
+// value of pre-dynamics result files to "static".
+func (r Result) ScenarioOrStatic() string {
+	if r.Scenario == "" {
+		return "static"
+	}
+	return r.Scenario
+}
+
+// Key identifies the cell within a set: env/mode/grid/problem/pP/nN/scenario.
 func (r Result) Key() string {
-	return fmt.Sprintf("%s/%s/%s/%s/p%d/n%d", r.Env, r.Mode, r.Grid, r.Problem, r.Procs, r.Size)
+	return fmt.Sprintf("%s/%s/%s/%s/p%d/n%d/%s", r.Env, r.Mode, r.Grid, r.Problem, r.Procs, r.Size, r.ScenarioOrStatic())
 }
 
 // group is the table-grouping key: cells in the same group share a
 // synchronous baseline and are directly comparable.
 func (r Result) group() string {
-	return fmt.Sprintf("%s/%s/p%d/n%d", r.Problem, r.Grid, r.Procs, r.Size)
+	return fmt.Sprintf("%s/%s/p%d/n%d/%s", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic())
+}
+
+// counterpartKey is the cell's identity with the scenario axis replaced by
+// static — the cell a degradation measurement compares against.
+func (r Result) counterpartKey() string {
+	r.Scenario = "static"
+	return r.Key()
 }
 
 // version is the paper's "version" label: mode plus environment.
@@ -158,7 +191,7 @@ func (s *Set) Table() string {
 			continue
 		}
 		seen[g] = true
-		fmt.Fprintf(&b, "%s — %s grid, %d procs, n=%d\n", r.Problem, r.Grid, r.Procs, r.Size)
+		fmt.Fprintf(&b, "%s — %s grid, %d procs, n=%d, scenario %s\n", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic())
 		fmt.Fprintf(&b, "  %-16s %12s %8s %10s %10s %10s %10s %6s\n",
 			"version", "time", "ratio", "iters", "msgs", "MB", "residual", "conv")
 		writeGroup(&b, s.groupOf(g))
@@ -192,10 +225,58 @@ func writeGroup(b *strings.Builder, grp []Result) {
 		if r.Residual == 0 {
 			res = fmt.Sprintf("%10s", "-")
 		}
-		fmt.Fprintf(b, "  %-16s %12s %8s %10d %10d %10.1f %s %6v\n",
+		conv := fmt.Sprintf("%6v", r.Converged)
+		if r.Stalled {
+			conv = fmt.Sprintf("%6s", "STALL")
+		}
+		fmt.Fprintf(b, "  %-16s %12s %8s %10d %10d %10.1f %s %s\n",
 			r.version(), FmtSec(r.TimeSec), ratio, r.Iters, r.Messages,
-			float64(r.Bytes)/1e6, res, r.Converged)
+			float64(r.Bytes)/1e6, res, conv)
 	}
+}
+
+// DegradationTable compares every cell run under a dynamic scenario against
+// its static counterpart in the same set: overhead (extra time over static),
+// time-to-reconverge after the last perturbation, message drops, restarts,
+// and stall detection. It returns "" when the set holds no such pair.
+func (s *Set) DegradationTable() string {
+	var b strings.Builder
+	lastHeader := ""
+	for _, r := range s.Results {
+		if r.ScenarioOrStatic() == "static" || r.Error != "" {
+			continue
+		}
+		static, ok := s.Lookup(r.counterpartKey())
+		if !ok || static.Error != "" {
+			continue
+		}
+		if b.Len() == 0 {
+			fmt.Fprintf(&b, "Degradation vs the static scenario\n\n")
+		}
+		header := fmt.Sprintf("%s — %s grid, %d procs, n=%d, scenario %s\n", r.Problem, r.Grid, r.Procs, r.Size, r.Scenario)
+		if header != lastHeader {
+			lastHeader = header
+			b.WriteString(header)
+			fmt.Fprintf(&b, "  %-16s %12s %12s %10s %12s %8s %9s %6s\n",
+				"version", "static", "dynamic", "overhead", "reconverge", "drops", "restarts", "conv")
+		}
+		overhead := "-"
+		if static.TimeSec > 0 && !r.Stalled {
+			overhead = fmt.Sprintf("%+.1f%%", (r.TimeSec-static.TimeSec)/static.TimeSec*100)
+		}
+		reconv := "-"
+		if r.ReconvergeSec > 0 {
+			reconv = FmtSec(r.ReconvergeSec)
+		}
+		conv := fmt.Sprintf("%v", r.Converged)
+		if r.Stalled {
+			conv = "STALL"
+		}
+		fmt.Fprintf(&b, "  %-16s %12s %12s %10s %12s %8d %9d %6s\n",
+			r.version(), FmtSec(static.TimeSec), FmtSec(r.TimeSec),
+			overhead, reconv, r.Dropped, r.Restarts, conv)
+	}
+	return b.String()
 }
 
 // FmtSec renders virtual seconds compactly (ms under a second, seconds
@@ -295,6 +376,39 @@ func Diff(baseline, current *Set) string {
 		fmt.Fprintf(&b, "only in baseline: %s\n", strings.Join(missing, ", "))
 	}
 	return b.String()
+}
+
+// Regressions compares current against baseline and returns one violation
+// line per shared cell whose simulated time moved by more than tolPct
+// percent (or whose stall/convergence outcome changed), plus one per
+// baseline cell missing from the current run. An empty slice means the run
+// reproduces the baseline within tolerance — the CI smoke-sweep check.
+func Regressions(baseline, current *Set, tolPct float64) []string {
+	var out []string
+	for _, old := range baseline.Results {
+		now, ok := current.Lookup(old.Key())
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: in baseline but not in current run", old.Key()))
+			continue
+		}
+		if now.Error != old.Error {
+			out = append(out, fmt.Sprintf("%s: error %q, baseline %q", old.Key(), now.Error, old.Error))
+			continue
+		}
+		if now.Converged != old.Converged || now.Stalled != old.Stalled {
+			out = append(out, fmt.Sprintf("%s: converged=%v stalled=%v, baseline converged=%v stalled=%v",
+				old.Key(), now.Converged, now.Stalled, old.Converged, old.Stalled))
+			continue
+		}
+		if old.TimeSec > 0 {
+			d := (now.TimeSec - old.TimeSec) / old.TimeSec * 100
+			if d > tolPct || d < -tolPct {
+				out = append(out, fmt.Sprintf("%s: time %s vs baseline %s (%+.2f%% > ±%.2f%%)",
+					old.Key(), FmtSec(now.TimeSec), FmtSec(old.TimeSec), d, tolPct))
+			}
+		}
+	}
+	return out
 }
 
 func pct(old, now float64) string {

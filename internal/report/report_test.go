@@ -63,7 +63,9 @@ func TestReadFileRejectsGarbage(t *testing.T) {
 
 func TestLookup(t *testing.T) {
 	s := sample()
-	r, ok := s.Lookup("pm2/async/adsl/linear/p8/n30000")
+	// An empty Scenario field normalises to static in the key, so files
+	// written before the grid-dynamics axis keep working.
+	r, ok := s.Lookup("pm2/async/adsl/linear/p8/n30000/static")
 	if !ok || r.Env != "pm2" {
 		t.Fatalf("Lookup = %+v, %v", r, ok)
 	}
@@ -107,6 +109,42 @@ func TestScalingTable(t *testing.T) {
 	}
 	if sample().ScalingTable() != "" {
 		t.Fatal("single-procs sweep should produce no scaling table")
+	}
+}
+
+func TestDegradationTable(t *testing.T) {
+	s := sample()
+	if s.DegradationTable() != "" {
+		t.Fatal("static-only set should produce no degradation table")
+	}
+	s.Results = append(s.Results,
+		Result{Env: "mpi", Mode: "sync", Grid: "adsl", Problem: "linear", Procs: 8, Size: 30000,
+			Scenario: "flaky-adsl", TimeSec: 300, Stalled: true},
+		Result{Env: "pm2", Mode: "async", Grid: "adsl", Problem: "linear", Procs: 8, Size: 30000,
+			Scenario: "flaky-adsl", TimeSec: 45, Converged: true, ReconvergeSec: 3.5, Restarts: 2},
+	)
+	out := s.DegradationTable()
+	// async pm2: 45s vs static 30s = +50.0% overhead, 3.50s reconverge.
+	if !strings.Contains(out, "+50.0%") || !strings.Contains(out, "3.50s") {
+		t.Fatalf("degradation derivations missing:\n%s", out)
+	}
+	if !strings.Contains(out, "STALL") {
+		t.Fatalf("stalled sync cell not marked:\n%s", out)
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	base, cur := sample(), sample()
+	if v := Regressions(base, cur, 0.01); len(v) != 0 {
+		t.Fatalf("identical sets flagged: %v", v)
+	}
+	cur.Results[1].TimeSec *= 1.10
+	cur.Results[0].Converged = false
+	base.Results = append(base.Results, Result{Env: "madmpi", Mode: "async", Grid: "adsl",
+		Problem: "linear", Procs: 8, Size: 30000, TimeSec: 35})
+	v := Regressions(base, cur, 5)
+	if len(v) != 3 {
+		t.Fatalf("want 3 violations (time, outcome, missing), got %d: %v", len(v), v)
 	}
 }
 

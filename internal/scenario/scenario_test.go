@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+)
+
+func TestPresetRegistry(t *testing.T) {
+	names := Names()
+	if len(names) == 0 || names[0] != "static" {
+		t.Fatalf("preset order must start with static: %v", names)
+	}
+	for _, name := range names {
+		s, err := ByName(name)
+		if err != nil || s.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if Describe() == "" {
+		t.Fatal("empty preset description table")
+	}
+}
+
+func TestStaticHasNoEvents(t *testing.T) {
+	sim := des.New()
+	g := cluster.FourSiteADSL(sim, 8)
+	rt := Deploy(Static(), g)
+	sim.Run()
+	if rt.Events() != 0 || rt.Horizon() != 0 {
+		t.Fatalf("static scenario applied %d events", rt.Events())
+	}
+	if sim.Now() != 0 {
+		t.Fatalf("static scenario advanced the clock to %v", sim.Now())
+	}
+}
+
+func TestDriverAppliesTimelineInOrder(t *testing.T) {
+	sim := des.New()
+	g := cluster.LocalHeterogeneous(sim, 4)
+	var applied []des.Time
+	s := &Scenario{
+		Name: "test",
+		Build: func(*cluster.Grid) []Event {
+			record := func(rt *Runtime) { applied = append(applied, rt.Grid.Sim.Now()) }
+			// Deliberately unsorted: Deploy must order the timeline.
+			return []Event{
+				{At: 30 * time.Millisecond, Apply: record},
+				{At: 10 * time.Millisecond, Apply: record},
+				{At: 20 * time.Millisecond, Apply: record},
+			}
+		},
+	}
+	rt := Deploy(s, g)
+	sim.Run()
+	want := []des.Time{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(applied) != len(want) {
+		t.Fatalf("applied %d events, want %d", len(applied), len(want))
+	}
+	for i := range want {
+		if applied[i] != want[i] {
+			t.Fatalf("event %d applied at %v, want %v", i, applied[i], want[i])
+		}
+	}
+	if rt.Events() != 3 {
+		t.Fatalf("Events() = %d", rt.Events())
+	}
+	if h := rt.Horizon(); h != 30*time.Millisecond {
+		t.Fatalf("Horizon() = %v", h)
+	}
+}
+
+func TestCrashRestartEpochAndGate(t *testing.T) {
+	sim := des.New()
+	g := cluster.LocalHeterogeneous(sim, 3)
+	rt := Deploy(Static(), g)
+
+	if rt.Epoch(1) != 0 {
+		t.Fatalf("initial epoch = %d", rt.Epoch(1))
+	}
+	var resumedAt des.Time
+	sim.Spawn("waiter", func(p *des.Proc) {
+		p.Sleep(2 * time.Millisecond) // crash happens at 1ms
+		rt.WaitUp(p, 1)
+		resumedAt = p.Now()
+	})
+	sim.Schedule(time.Millisecond, func() {
+		rt.Crash(1)
+		rt.Crash(1) // double crash is a no-op
+	})
+	sim.Schedule(5*time.Millisecond, func() { rt.Restart(1) })
+	sim.Run()
+
+	if rt.Epoch(1) != 1 {
+		t.Fatalf("epoch after one crash = %d, want 1", rt.Epoch(1))
+	}
+	if resumedAt != 5*time.Millisecond {
+		t.Fatalf("WaitUp resumed at %v, want 5ms", resumedAt)
+	}
+	if g.Net.IsDown(g.Machines[1].Node) {
+		t.Fatal("node still down after Restart")
+	}
+}
+
+func TestScaleAndRestoreAreRelativeToNominal(t *testing.T) {
+	sim := des.New()
+	g := cluster.FourSiteADSL(sim, 8)
+	rt := Deploy(Static(), g)
+	site := weakestSite(g)
+	nominal := g.Net.Uplink(site)
+
+	rt.ScaleUplink(site, 2, 16)
+	rt.ScaleUplink(site, 2, 16) // repeated events must not compound
+	got := g.Net.Uplink(site)
+	if got.UpBps != nominal.UpBps/2 || got.Latency != 16*nominal.Latency {
+		t.Fatalf("scaled uplink = %+v", got)
+	}
+	if got.Name != nominal.Name {
+		t.Fatalf("scaling renamed the link to %q", got.Name)
+	}
+	rt.RestoreUplink(site)
+	if g.Net.Uplink(site) != nominal {
+		t.Fatalf("restore did not recover the nominal uplink")
+	}
+
+	lans := g.Net.LANs(0)
+	rt.ScaleLANs(0, 4, 4)
+	if g.Net.LANs(0)[0].UpBps != lans[0].UpBps/4 {
+		t.Fatal("LAN not scaled")
+	}
+	rt.RestoreLANs(0)
+	if g.Net.LANs(0)[0] != lans[0] {
+		t.Fatal("LANs not restored")
+	}
+}
+
+func TestWeakestSitePrefersADSL(t *testing.T) {
+	sim := des.New()
+	g := cluster.FourSiteADSL(sim, 8)
+	if s := weakestSite(g); s != 3 {
+		t.Fatalf("weakest site = %d, want the ADSL site (3)", s)
+	}
+}
+
+func TestLastEventBeforeIsAbsolute(t *testing.T) {
+	sim := des.New()
+	g := cluster.LocalHeterogeneous(sim, 2)
+	// Deploy after the clock has advanced: event times are relative to
+	// deploy, LastEventBefore reports absolute times.
+	sim.Schedule(100*time.Millisecond, func() {})
+	sim.Run()
+	s := &Scenario{
+		Name: "test",
+		Build: func(*cluster.Grid) []Event {
+			return []Event{{At: 10 * time.Millisecond, Apply: func(*Runtime) {}}}
+		},
+	}
+	rt := Deploy(s, g)
+	sim.Run()
+	at, ok := rt.LastEventBefore(200 * time.Millisecond)
+	if !ok || at != 110*time.Millisecond {
+		t.Fatalf("LastEventBefore = %v, %v; want 110ms", at, ok)
+	}
+	if _, ok := rt.LastEventBefore(105 * time.Millisecond); ok {
+		t.Fatal("found an event before any was applied")
+	}
+}
+
+func TestNodeChurnNeverCrashesCoordinator(t *testing.T) {
+	sim := des.New()
+	g := cluster.FourSiteADSL(sim, 8)
+	evs := NodeChurn().Build(g)
+	if len(evs) == 0 {
+		t.Fatal("no churn events")
+	}
+	rt := Deploy(Static(), g)
+	for _, ev := range evs {
+		ev.Apply(rt)
+		if g.Net.IsDown(g.Machines[0].Node) {
+			t.Fatal("churn crashed rank 0, the convergence coordinator")
+		}
+	}
+}
+
+func TestPresetTimelinesAreFinite(t *testing.T) {
+	// Every preset's timeline must drain: a driver that schedules forever
+	// would keep any simulation from terminating.
+	for _, name := range Names() {
+		s, _ := ByName(name)
+		sim := des.New()
+		g := cluster.FourSiteADSL(sim, 8)
+		Deploy(s, g)
+		end := sim.Run()
+		if end > 10*time.Minute {
+			t.Fatalf("%s: timeline runs to %v", name, end)
+		}
+	}
+}
