@@ -1,7 +1,8 @@
 // Command aiacbench sweeps the paper's experiment matrix — environment ×
-// mode × grid × problem × procs × size × scenario — across a bounded pool
-// of concurrent simulations, prints the comparison tables, and persists the
-// results as JSON so later runs can be diffed against them.
+// mode × grid × problem × procs × size × scenario × backend — across a
+// bounded pool of concurrent simulations, prints the comparison tables,
+// and persists the results as JSON so later runs can be diffed against
+// them.
 //
 // Matrix mode (the default):
 //
@@ -9,10 +10,18 @@
 //	aiacbench -env pm2,mpi -grid adsl         # filter any axis
 //	aiacbench -problem chem -procs 8,12       # non-linear problem, two procs counts
 //	aiacbench -scenario flaky-adsl -grid adsl # grid-dynamics scenario + degradation table
+//	aiacbench -backend sim,chan,tcp           # add native wall-clock cells + calibration table
+//	aiacbench -backend tcp -timeout 30s       # native cells only, tighter runaway guard
 //	aiacbench -reps 3 -seed 42                # median/min over three jittered repetitions
 //	aiacbench -o BENCH_pr42.json              # choose the results file
 //	aiacbench -baseline BENCH_baseline.json   # print per-cell deltas vs a saved run
 //	aiacbench -baseline B.json -faildelta 1   # exit non-zero on >1% time drift (CI)
+//
+// Native cells (backend chan or tcp) run the solve for real — goroutine
+// ranks over an in-process or TCP-loopback transport shaped like the
+// cell's grid (internal/backend) — serially after the simulated pool, so
+// their wall-clock numbers are taken on a quiet host. Wall times vary run
+// to run, so build -faildelta regression baselines from sim-only sweeps.
 //
 // Paper-table mode regenerates the evaluation section's tables and figures
 // verbatim (see internal/bench):
@@ -46,6 +55,8 @@ func main() {
 		procsF    = flag.String("procs", "", "processor counts (csv; empty = 8)")
 		sizesF    = flag.String("n", "", "problem sizes (csv; empty = per-problem default)")
 		scenarioF = flag.String("scenario", "", "grid-dynamics scenario filter (csv of "+strings.Join(matrix.ScenarioNames, ", ")+"; empty = static)")
+		backendF  = flag.String("backend", "", "execution-backend filter (csv of sim, chan, tcp; empty = sim; native backends run wall-clock cells serially after the simulated pool)")
+		timeout   = flag.Duration("timeout", matrix.DefaultNativeTimeout, "wall-clock guard per native cell: a longer-running cell is cancelled and reported as STALL")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "cells simulated concurrently")
 		reps      = flag.Int("reps", 1, "repetitions per cell (median/min aggregation)")
 		seed      = flag.Int64("seed", 0, "network-jitter seed: repetition r draws from stream seed+r (0 = jitter off, reps are bit-identical)")
@@ -66,7 +77,7 @@ func main() {
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *table != 0 || *figure != 0 || *all {
-		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "reps", "seed", "workers", "o", "baseline", "faildelta"} {
+		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "backend", "timeout", "reps", "seed", "workers", "o", "baseline", "faildelta"} {
 			if explicit[name] {
 				fmt.Fprintf(os.Stderr, "-%s is a matrix-sweep flag; it has no effect with -table/-figure/-all\n", name)
 				os.Exit(2)
@@ -80,7 +91,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	spec, err := buildSpec(*envF, *modeF, *gridF, *problemF, *procsF, *sizesF, *scenarioF)
+	spec, err := buildSpec(*envF, *modeF, *gridF, *problemF, *procsF, *sizesF, *scenarioF, *backendF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -105,7 +116,7 @@ func main() {
 	}
 	cells := spec.Cells()
 	if len(cells) == 0 {
-		fmt.Fprintln(os.Stderr, "the filters select no runnable cells (note: async×mpi is unsupported)")
+		fmt.Fprintln(os.Stderr, "the filters select no runnable cells (note: async×mpi is unsupported, and native backends cover the linear problem under the static scenario)")
 		os.Exit(2)
 	}
 	fmt.Printf("sweeping %d cells with %d workers, %d rep(s) per cell\n\n", len(cells), *workers, *reps)
@@ -114,6 +125,7 @@ func main() {
 	start := time.Now()
 	set, err := matrix.Run(spec, matrix.Options{
 		Workers: *workers,
+		Timeout: *timeout,
 		Reps:    *reps,
 		Seed:    *seed,
 		OnResult: func(r report.Result) {
@@ -139,6 +151,9 @@ func main() {
 	}
 	if dg := set.DegradationTable(); dg != "" {
 		fmt.Print(dg)
+	}
+	if cal := set.CalibrationTable(); cal != "" {
+		fmt.Print(cal)
 	}
 
 	if *outFile != "" {
@@ -180,10 +195,13 @@ func addStaticIfMissing(spec *matrix.Spec) bool {
 }
 
 // buildSpec assembles the sweep spec from the axis filters.
-func buildSpec(env, mode, grid, problem, procs, sizes, scenarios string) (matrix.Spec, error) {
+func buildSpec(env, mode, grid, problem, procs, sizes, scenarios, backends string) (matrix.Spec, error) {
 	spec := matrix.DefaultSpec()
 	var err error
 	if spec.Envs, err = matrix.ParseEnvs(env); err != nil {
+		return spec, err
+	}
+	if spec.Backends, err = matrix.ParseBackends(backends); err != nil {
 		return spec, err
 	}
 	if spec.Modes, err = matrix.ParseModes(mode); err != nil {

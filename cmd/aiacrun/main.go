@@ -4,20 +4,29 @@
 // environment/grid/mode names are the matrix axis values (internal/matrix),
 // so a cell printed by aiacbench can be re-run here verbatim.
 //
+// With -backend chan or tcp the solve runs natively instead of on the
+// simulator: goroutine ranks over an in-process or TCP-loopback transport
+// shaped like the chosen grid (internal/backend), measured in wall-clock
+// time. The environment is then the Go runtime itself (the matrix's "go"
+// pseudo-environment) and -env must be left unset.
+//
 // Usage:
 //
 //	aiacrun -env pm2 -mode async -grid 3site -procs 12 -n 60000
 //	aiacrun -env mpi -mode sync  -grid local -procs 8
 //	aiacrun -env madmpi -grid adsl -balanced
 //	aiacrun -env pm2 -grid adsl -scenario flaky-adsl   # under grid dynamics
+//	aiacrun -backend tcp -grid adsl -procs 8 -n 12000  # native wall-clock run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"aiac/internal/aiac"
+	"aiac/internal/backend"
 	"aiac/internal/des"
 	"aiac/internal/la"
 	"aiac/internal/matrix"
@@ -42,8 +51,29 @@ func main() {
 		balanced = flag.Bool("balanced", false, "speed-proportional row blocks")
 		gantt    = flag.Bool("gantt", false, "print the execution-flow chart")
 		scenF    = flag.String("scenario", "static", "grid-dynamics scenario (one of: static, flaky-adsl, diurnal-load, node-churn, lossy-wan)")
+		backendF = flag.String("backend", "sim", "execution backend: sim (discrete-event simulation), chan or tcp (native wall-clock run)")
+		timeout  = flag.Duration("timeout", matrix.DefaultNativeTimeout, "wall-clock guard of a native run: cancelled and reported as STALL beyond this")
 	)
 	flag.Parse()
+
+	if *backendF != "sim" {
+		// A native run has no simulated middleware, jitter stream, or
+		// trace: reject the flags that would be silently ignored.
+		explicit := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, name := range []string{"env", "balanced", "gantt", "seed"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "-%s applies to the simulator; a native -backend run ignores it (the environment is the Go runtime)\n", name)
+				os.Exit(2)
+			}
+		}
+		if *scenF != "static" {
+			fmt.Fprintln(os.Stderr, "native backends run the static scenario only")
+			os.Exit(2)
+		}
+		runNative(*backendF, *mode, *gridName, *procs, *n, *diags, *rho, *eps, *maxIters, *matseed, *timeout)
+		return
+	}
 
 	scen, err := scenario.ByName(*scenF)
 	if err != nil {
@@ -123,5 +153,45 @@ func main() {
 	if *gantt {
 		fmt.Println()
 		fmt.Print(tr.Gantt(96))
+	}
+}
+
+// runNative performs one wall-clock solve on the named native transport
+// (internal/backend), the matrix's chan/tcp backend cells run standalone.
+func runNative(bk, mode, gridName string, procs, n, diags int, rho, eps float64, maxIters int, matseed int64, timeout time.Duration) {
+	modes, err := matrix.ParseModes(mode)
+	if err != nil || len(modes) != 1 {
+		fmt.Fprintf(os.Stderr, "bad -mode %q: want async or sync\n", mode)
+		os.Exit(2)
+	}
+	tr, err := backend.NewTransport(bk, procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := backend.ApplyGridShaping(tr, gridName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prob := problems.NewLinear(n, diags, rho, matseed)
+	fmt.Printf("solving n=%d (%d diagonals, rho<%.2f) natively on the %s-shaped %s transport, %s, %d procs\n",
+		n, diags, rho, gridName, bk, modes[0], procs)
+	rep, err := backend.Run(prob, tr, backend.Config{
+		Mode: modes[0], Eps: eps, MaxIters: maxIters,
+		Timeout: timeout, StallAfter: timeout / 4,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nresult:        %s\n", rep.Reason)
+	fmt.Printf("wall clock:    %v\n", rep.Wall)
+	fmt.Printf("iterations:    %v (total %d)\n", rep.ItersPerRank, rep.TotalIters())
+	fmt.Printf("error vs true: %.3e\n", la.MaxNormDiff(rep.X, prob.XTrue))
+	fmt.Printf("state msgs:    %d\n", rep.StateMsgs)
+	fmt.Printf("network:       %d messages, %.1f MB (%d dropped)\n",
+		rep.Net.Messages, float64(rep.Net.Bytes)/1e6, rep.Net.Dropped)
+	if rep.Reason == aiac.StopStalled {
+		os.Exit(1)
 	}
 }

@@ -1,7 +1,9 @@
-// Realtime runs the same AIAC algorithm on the real Go runtime — goroutines
-// and channels in wall-clock time — instead of the discrete-event
-// simulator, demonstrating that Go natively provides every feature the
-// paper's §6 demands from a parallel programming environment.
+// Realtime runs the same AIAC algorithm on the real Go runtime — goroutine
+// ranks over an in-process transport in wall-clock time — instead of the
+// discrete-event simulator, demonstrating that Go natively provides every
+// feature the paper's §6 demands from a parallel programming environment.
+// It is the smallest consumer of the native backend (internal/backend);
+// the experiment matrix runs the same code as its chan/tcp cells.
 //
 //	go run ./examples/realtime
 package main
@@ -9,35 +11,45 @@ package main
 import (
 	"fmt"
 	"runtime"
+	"time"
 
+	"aiac/internal/aiac"
+	"aiac/internal/backend"
 	"aiac/internal/la"
 	"aiac/internal/problems"
-	"aiac/internal/realrt"
+	"aiac/internal/transport"
 )
 
 func main() {
 	const n, diags = 10000, 16
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 8 {
-		workers = 8
+	ranks := runtime.GOMAXPROCS(0)
+	if ranks > 8 {
+		ranks = 8
 	}
-	if workers < 4 {
-		workers = 4 // goroutines multiplex fine on fewer cores
+	if ranks < 4 {
+		ranks = 4 // goroutines multiplex fine on fewer cores
 	}
-	fmt.Printf("Wall-clock AIAC on goroutines: n=%d, %d workers\n\n", n, workers)
+	fmt.Printf("Wall-clock AIAC on goroutines: n=%d, %d ranks\n\n", n, ranks)
 	fmt.Println("paper §6 feature          Go construct")
 	fmt.Println("------------------------  -----------------------------------")
 	fmt.Println("multi-threading           goroutines")
 	fmt.Println("fair thread scheduler     Go runtime scheduler")
-	fmt.Println("async send-if-free        select { case ch <- m: default: }")
-	fmt.Println("receive threads on demand one receiver goroutine per channel")
+	fmt.Println("blocking point-to-point   transport.Transport.Send")
+	fmt.Println("async send-if-free        one sender goroutine per channel")
+	fmt.Println("receive threads on demand one receive goroutine per link")
 	fmt.Println("mutex system              sync.Mutex")
 	fmt.Println()
 
 	prob := problems.NewLinear(n, diags, 0.85, 7)
-	res := realrt.Solve(prob, realrt.Config{Eps: 1e-9, Workers: workers})
+	rep, err := backend.Run(prob, transport.NewChan(ranks), backend.Config{
+		Mode: aiac.Async, Eps: 1e-9, Timeout: time.Minute,
+	})
+	if err != nil {
+		panic(err)
+	}
 
-	fmt.Printf("converged: %v in %v (wall clock)\n", res.Converged, res.Elapsed)
-	fmt.Printf("per-worker iterations: %v\n", res.ItersPerRank)
-	fmt.Printf("error vs known solution: %.2e\n", la.MaxNormDiff(res.X, prob.XTrue))
+	fmt.Printf("converged: %v in %v (wall clock)\n", rep.Converged(), rep.Wall)
+	fmt.Printf("per-rank iterations: %v\n", rep.ItersPerRank)
+	fmt.Printf("messages: %d (%.1f MB on the wire)\n", rep.Net.Messages, float64(rep.Net.Bytes)/1e6)
+	fmt.Printf("error vs known solution: %.2e\n", la.MaxNormDiff(rep.X, prob.XTrue))
 }

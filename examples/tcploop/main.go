@@ -1,0 +1,68 @@
+// Tcploop runs a two-"site" AIAC solve over real TCP sockets in one
+// process: ranks 0-1 form site A and ranks 2-3 site B, every message
+// crosses a loopback TCP connection carrying the binary wire codec
+// (internal/transport), and the inter-site links are shaped with a WAN-like
+// delay. It then repeats the run synchronously, reproducing the paper's
+// core result — asynchronous iterations hide the slow links that throttle
+// the synchronous lockstep — on an actual network stack instead of the
+// simulator.
+//
+//	go run ./examples/tcploop
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"aiac/internal/aiac"
+	"aiac/internal/backend"
+	"aiac/internal/la"
+	"aiac/internal/problems"
+	"aiac/internal/transport"
+)
+
+const (
+	ranks      = 4
+	interDelay = 20 * time.Millisecond // site A <-> site B
+	intraDelay = 200 * time.Microsecond
+)
+
+// site assigns the first half of the ranks to site A, the rest to site B.
+func site(r int) int { return r / (ranks / 2) }
+
+func run(mode aiac.Mode) (*backend.Report, *problems.Linear, error) {
+	tr := transport.NewTCP(ranks)
+	for from := 0; from < ranks; from++ {
+		for to := 0; to < ranks; to++ {
+			if from == to {
+				continue
+			}
+			d := intraDelay
+			if site(from) != site(to) {
+				d = interDelay
+			}
+			tr.SetShaping(from, to, transport.Shaping{Delay: d})
+		}
+	}
+	prob := problems.NewLinear(8000, 12, 0.85, 42)
+	rep, err := backend.Run(prob, tr, backend.Config{
+		Mode: mode, Eps: 1e-7, Timeout: 2 * time.Minute,
+	})
+	return rep, prob, err
+}
+
+func main() {
+	fmt.Printf("Two-site AIAC over TCP loopback: %d ranks, %v between sites\n\n", ranks, interDelay)
+	for _, mode := range []aiac.Mode{aiac.Sync, aiac.Async} {
+		rep, prob, err := run(mode)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-5s %s in %10v  iters=%-6d wire=%.1f MB  err=%.1e\n",
+			mode, rep.Reason, rep.Wall.Round(time.Millisecond), rep.TotalIters(),
+			float64(rep.Net.Bytes)/1e6, la.MaxNormDiff(rep.X, prob.XTrue))
+	}
+	fmt.Println("\nThe synchronous lockstep pays the inter-site delay on every")
+	fmt.Println("iteration (exchange + residual reduction); the asynchronous")
+	fmt.Println("version keeps iterating while data crosses the slow links.")
+}

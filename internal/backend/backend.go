@@ -1,0 +1,824 @@
+// Package backend runs AIAC solves natively — goroutine ranks exchanging
+// messages over an internal/transport wire in wall-clock time — as a full
+// peer of the simulated stack (internal/aiac on internal/des): both Async
+// and Sync modes, any aiac.Problem, and the same hardened two-phase
+// convergence protocol as the engine.
+//
+// The paper's §6 lists what a programming environment needs for efficient
+// AIAC implementations: blocking point-to-point communication, a
+// multi-threaded runtime with a fair scheduler, receptions handled in
+// threads activated on demand, and a mutex system. Go provides every item
+// natively, and this package is the repository's demonstration: goroutines
+// as ranks, a sender goroutine per send-plan channel implementing the
+// "send only if the previous send has terminated" policy over the
+// transport's blocking Send, transport receive goroutines incorporating
+// data under a per-rank mutex, and the Go scheduler as the fair
+// user-level thread package.
+//
+// Where the simulator answers "how do the middlewares compare on a grid I
+// can specify exactly?", this backend answers "does the protocol hold up
+// on real concurrency, and how fast is it on this hardware?" — with
+// wall-clock guards (Config.Timeout, Config.StallAfter) in place of the
+// simulator's drained-event-queue stall detection, because a deadlocked
+// native run would otherwise hang forever rather than stopping the clock.
+package backend
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aiac/internal/aiac"
+	"aiac/internal/transport"
+)
+
+// Config tunes a native solve.
+type Config struct {
+	// Mode selects AIAC (Async) or SISC (Sync).
+	Mode aiac.Mode
+	// Eps is the local convergence threshold on the residual.
+	Eps float64
+	// PersistIters is the consecutive locally-converged iterations
+	// required before a rank starts the two-phase confirmation. Default 3.
+	PersistIters int
+	// MaxIters bounds each rank's iterations. Default 1e6.
+	MaxIters int
+	// Grace is the coordinator's quiet window between seeing every rank
+	// confirmed and broadcasting stop (the wall-clock analogue of the
+	// engine's StopGrace). Default 500µs.
+	Grace time.Duration
+	// Heartbeat makes a confirmed rank re-send its state at this interval
+	// until the stop arrives, and the coordinator re-answer post-stop
+	// heartbeats with a fresh stop — the engine's StateHeartbeat. Default
+	// 50ms.
+	Heartbeat time.Duration
+	// Timeout aborts the solve after this much wall time and reports it
+	// as stalled — the guard that keeps a runaway native cell from
+	// hanging a sweep. Zero disables it.
+	Timeout time.Duration
+	// StallAfter aborts the solve when no rank completes an iteration for
+	// this long — a synchronous exchange whose messages were lost
+	// deadlocks silently, and this watchdog is what turns that into a
+	// reported STALL. Zero disables it.
+	StallAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eps <= 0 {
+		c.Eps = 1e-8
+	}
+	if c.PersistIters <= 0 {
+		c.PersistIters = 3
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 1000000
+	}
+	if c.Grace <= 0 {
+		c.Grace = 500 * time.Microsecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Report is the outcome of one native solve.
+type Report struct {
+	// Wall is the measured wall-clock time from the post-barrier start to
+	// the last rank's exit.
+	Wall time.Duration
+	// X is the assembled final iterate (each rank's own block).
+	X []float64
+	// ItersPerRank counts each rank's local iterations.
+	ItersPerRank []int
+	// Reason tells how the run ended, with the engine's vocabulary:
+	// StopConverged, StopIterCap, or StopStalled (timeout / no-progress
+	// watchdog).
+	Reason aiac.StopReason
+	// StateMsgs counts convergence-state messages the coordinator
+	// received (async mode).
+	StateMsgs int
+	// Net is the transport's traffic snapshot.
+	Net transport.Stats
+}
+
+// Converged reports whether global convergence was detected.
+func (r *Report) Converged() bool { return r.Reason == aiac.StopConverged }
+
+// TotalIters sums ItersPerRank.
+func (r *Report) TotalIters() int {
+	t := 0
+	for _, n := range r.ItersPerRank {
+		t += n
+	}
+	return t
+}
+
+// Run solves prob natively over the transport's ranks. The caller owns the
+// transport's configuration (shaping must be set beforehand); Run
+// registers the handlers, starts it, and closes it on return.
+func Run(prob aiac.Problem, tr transport.Transport, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	n := tr.Size()
+	bounds := prob.PartitionBounds(n)
+	plan := aiac.BuildSendPlan(prob, bounds)
+	x0 := prob.InitialVector()
+	if len(x0) != prob.Size() {
+		return nil, fmt.Errorf("backend: initial vector size mismatch")
+	}
+
+	s := &solver{
+		prob: prob, tr: tr, cfg: cfg, n: n,
+		bounds: bounds, plan: plan,
+		mus:         make([]sync.Mutex, n),
+		xs:          make([][]float64, n),
+		lastArrival: make([]map[int32]time.Time, n),
+		recvTotal:   make([]atomic.Int64, n),
+		notify:      make([]chan struct{}, n),
+		stop:        make([]chan struct{}, n),
+		stopOnce:    make([]sync.Once, n),
+		iters:       make([]int, n),
+		capped:      make([]bool, n),
+		finish:      make([]time.Time, n),
+		abort:       make(chan struct{}),
+		coord:       &coordinator{n: n, conv: make([]bool, n)},
+		reduce:      &reducer{rounds: make(map[int32]*reduceRound)},
+		results:     make(map[int32]float64),
+	}
+	for r := 0; r < n; r++ {
+		s.xs[r] = make([]float64, len(x0))
+		copy(s.xs[r], x0)
+		s.lastArrival[r] = make(map[int32]time.Time, plan.RecvCount[r])
+		s.notify[r] = make(chan struct{}, 1)
+		s.stop[r] = make(chan struct{})
+	}
+	for r := 0; r < n; r++ {
+		tr.SetHandler(r, s.handler(r))
+	}
+	if err := tr.Start(); err != nil {
+		return nil, fmt.Errorf("backend: starting %s transport: %w", tr.Name(), err)
+	}
+
+	s.spawnedAt = time.Now()
+	if cfg.Timeout > 0 || cfg.StallAfter > 0 {
+		go s.watchdog()
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.runRank(r)
+		}()
+	}
+	wg.Wait()
+	s.abortOnce.Do(func() { close(s.abort) }) // retire the watchdog
+	if t := s.coord.graceTimer(); t != nil {
+		t.Stop()
+	}
+	// Tear the wire down (Close waits for the receive/link threads, so no
+	// handler runs past this point), refuse new helper goroutines, and
+	// drain the in-flight ones before touching shared state.
+	tr.Close()
+	s.bgMu.Lock()
+	s.bgClosed = true
+	s.bgMu.Unlock()
+	s.bg.Wait()
+
+	end := s.spawnedAt
+	for _, f := range s.finish {
+		if f.After(end) {
+			end = f
+		}
+	}
+	start := s.spawnedAt
+	if at, ok := s.startAt.Load().(time.Time); ok {
+		start = at
+	}
+	rep := &Report{
+		Wall:         end.Sub(start),
+		X:            make([]float64, len(x0)),
+		ItersPerRank: s.iters,
+		StateMsgs:    s.coord.msgCount(),
+		Net:          tr.Stats(),
+	}
+	anyCapped := false
+	for _, c := range s.capped {
+		anyCapped = anyCapped || c
+	}
+	switch {
+	case s.stalled.Load():
+		rep.Reason = aiac.StopStalled
+	case (cfg.Mode == aiac.Async && s.coord.isStopped() && !anyCapped) ||
+		(cfg.Mode == aiac.Sync && s.syncConverged.Load()):
+		rep.Reason = aiac.StopConverged
+	default:
+		rep.Reason = aiac.StopIterCap
+	}
+	for r := 0; r < n; r++ {
+		s.mus[r].Lock()
+		copy(rep.X[bounds[r]:bounds[r+1]], s.xs[r][bounds[r]:bounds[r+1]])
+		s.mus[r].Unlock()
+	}
+	return rep, nil
+}
+
+// solver is the shared state of one native solve.
+type solver struct {
+	prob   aiac.Problem
+	tr     transport.Transport
+	cfg    Config
+	n      int
+	bounds []int
+	plan   *aiac.SendPlan
+
+	// Per-rank iterate state: the transport's receive threads write x and
+	// the arrival bookkeeping under the rank's mutex; the iterate loop
+	// reads and updates under the same mutex — the paper's "mutex system".
+	mus         []sync.Mutex
+	xs          [][]float64
+	lastArrival []map[int32]time.Time
+
+	// Sync-mode accounting: total data messages received per rank, with a
+	// 1-buffered wakeup channel for the exchange/reduction waits.
+	recvTotal []atomic.Int64
+	notify    []chan struct{}
+
+	// Stop propagation (async mode): one gate per rank, opened by the
+	// coordinator's MsgStop broadcast.
+	stop     []chan struct{}
+	stopOnce []sync.Once
+
+	iters     []int
+	itersDone atomic.Int64 // watchdog progress counter
+	capped    []bool
+	finish    []time.Time
+	spawnedAt time.Time
+	startAt   atomic.Value // time.Time of the first post-barrier rank
+
+	abort     chan struct{} // wall-clock guard tripped
+	abortOnce sync.Once
+	stalled   atomic.Bool
+
+	syncConverged atomic.Bool
+	coord         *coordinator
+	reduce        *reducer
+	resMu         sync.Mutex
+	results       map[int32]float64 // reduction round -> result, recent rounds only
+
+	// Helper goroutines (per-key senders, broadcasts) drain through bg
+	// before Run returns; spawn guards the Add against Run's bg.Wait —
+	// a grace-timer callback can still be in flight when the solve ends.
+	bgMu     sync.Mutex
+	bgClosed bool
+	bg       sync.WaitGroup
+}
+
+// spawn runs f on a tracked helper goroutine; once Run has begun draining
+// the helpers it becomes a no-op (the transport is closed, so the send f
+// would perform is moot anyway).
+func (s *solver) spawn(f func()) {
+	s.bgMu.Lock()
+	if s.bgClosed {
+		s.bgMu.Unlock()
+		return
+	}
+	s.bg.Add(1)
+	s.bgMu.Unlock()
+	go func() {
+		defer s.bg.Done()
+		f()
+	}()
+}
+
+// trip aborts the solve and marks it stalled.
+func (s *solver) trip() {
+	s.stalled.Store(true)
+	s.abortOnce.Do(func() { close(s.abort) })
+	// Pending blocking sends and waits unblock through the closed
+	// transport.
+	s.tr.Close()
+}
+
+// watchdog enforces the wall-clock guards: a hard timeout, and a
+// no-iteration-progress stall detector.
+func (s *solver) watchdog() {
+	var deadline <-chan time.Time
+	if s.cfg.Timeout > 0 {
+		t := time.NewTimer(s.cfg.Timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	tick := s.cfg.StallAfter
+	if tick <= 0 {
+		tick = time.Hour
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	last := s.itersDone.Load()
+	for {
+		select {
+		case <-s.abort:
+			return
+		case <-deadline:
+			s.trip()
+			return
+		case <-ticker.C:
+			if s.cfg.StallAfter <= 0 {
+				continue
+			}
+			now := s.itersDone.Load()
+			if now == last {
+				s.trip()
+				return
+			}
+			last = now
+		}
+	}
+}
+
+// handler dispatches rank r's inbound messages — it runs on the
+// transport's receive threads.
+func (s *solver) handler(r int) transport.Handler {
+	return func(m transport.Msg) {
+		switch m.Type {
+		case transport.MsgData:
+			s.mus[r].Lock()
+			copy(s.xs[r][m.Lo:int(m.Lo)+len(m.Values)], m.Values)
+			s.lastArrival[r][m.Key] = time.Now()
+			s.mus[r].Unlock()
+			s.recvTotal[r].Add(1)
+			s.wake(r)
+		case transport.MsgState:
+			if r == 0 {
+				s.onState(m)
+			}
+		case transport.MsgStop:
+			s.stopRank(r)
+		case transport.MsgReduce:
+			if r == 0 {
+				s.contribute(m.Seq, m.Values[0])
+			}
+		case transport.MsgReduceResult:
+			s.resMu.Lock()
+			s.results[m.Seq] = m.Values[0]
+			s.resMu.Unlock()
+			s.wake(r)
+		}
+	}
+}
+
+func (s *solver) wake(r int) {
+	select {
+	case s.notify[r] <- struct{}{}:
+	default:
+	}
+}
+
+func (s *solver) stopRank(r int) {
+	s.stopOnce[r].Do(func() { close(s.stop[r]) })
+}
+
+func (s *solver) stopped(r int) bool {
+	select {
+	case <-s.stop[r]:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *solver) aborted() bool {
+	select {
+	case <-s.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// runRank is the body of one native rank.
+func (s *solver) runRank(r int) {
+	defer func() { s.finish[r] = time.Now() }()
+	// §4.3: "only the first iteration begins at the same time on all the
+	// processors" — an entry barrier, built on the reduction machinery.
+	if _, ok := s.allreduceMax(r, -1, 0); !ok {
+		return
+	}
+	if r == 0 {
+		s.startAt.Store(time.Now())
+	}
+	if s.cfg.Mode == aiac.Sync {
+		s.runSync(r)
+	} else {
+		s.runAsync(r)
+	}
+}
+
+// sendReliable performs a blocking control-plane send, swallowing
+// transport teardown (the run is ending anyway).
+func (s *solver) sendReliable(from, to int, m transport.Msg) {
+	_ = s.tr.Send(from, to, m)
+}
+
+// broadcastStop opens every rank's stop gate. Called on the coordinator's
+// dispatch thread; the sends run on helper goroutines because each one
+// blocks for the link's shaped delay.
+func (s *solver) broadcastStop() {
+	s.stopRank(0)
+	for to := 1; to < s.n; to++ {
+		to := to
+		s.spawn(func() {
+			s.sendReliable(0, to, transport.Msg{Type: transport.MsgStop, From: 0})
+		})
+	}
+}
+
+// --- async mode ---
+
+// runAsync is the AIAC loop: the engine's two-phase protocol verbatim,
+// with transport sender goroutines in place of middleware send threads.
+func (s *solver) runAsync(r int) {
+	cfg := s.cfg
+	targets := s.plan.Targets[r]
+	// One unbuffered channel + sender goroutine per send-plan channel:
+	// a try-send that finds the sender busy skips — the previous send of
+	// the same data has not terminated (§4.3's policy). The blocking
+	// transport Send holds the sender for the link's full shaped delay,
+	// so the skip window tracks the wire, exactly like the simulator's
+	// TrySendData.
+	outs := make([]chan transport.Msg, len(targets))
+	for i, tg := range targets {
+		ch := make(chan transport.Msg)
+		outs[i] = ch
+		to := tg.To
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			for m := range ch {
+				if s.tr.Send(r, to, m) != nil {
+					// Transport closed: drain without sending.
+					for range ch {
+					}
+					return
+				}
+			}
+		}()
+	}
+	// State messages are never skipped and must stay FIFO: a dedicated
+	// sender goroutine with a deep buffer.
+	states := make(chan transport.Msg, 64)
+	var stateWG sync.WaitGroup
+	if r != 0 {
+		stateWG.Add(1)
+		go func() {
+			defer stateWG.Done()
+			for m := range states {
+				if s.tr.Send(r, 0, m) != nil {
+					for range states {
+					}
+					return
+				}
+			}
+		}()
+	}
+	defer func() {
+		for _, ch := range outs {
+			close(ch)
+		}
+		close(states)
+		stateWG.Wait()
+	}()
+
+	sendState := func(seq int, converged bool) {
+		m := transport.Msg{Type: transport.MsgState, From: int32(r), Seq: int32(seq), Flag: converged}
+		if r == 0 {
+			s.onState(m) // the coordinator is local to rank 0
+			return
+		}
+		states <- m
+	}
+
+	x := s.xs[r]
+	streak, seq, phase := 0, 0, 0
+	var convergedAt, lastStateAt time.Time
+	// Double buffering per send channel: `spare` is written each
+	// iteration; a successful hand-over swaps it with `inflight`, whose
+	// previous buffer the sender goroutine has already released (its Send
+	// returned before it could accept a new message). The spin-heavy
+	// asynchronous loop thus sends without per-iteration allocation.
+	spare := make([][]float64, len(targets))
+	inflight := make([][]float64, len(targets))
+	for i, tg := range targets {
+		spare[i] = make([]float64, tg.Seg.Len())
+		inflight[i] = make([]float64, tg.Seg.Len())
+	}
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if s.stopped(r) || s.aborted() {
+			return
+		}
+		s.mus[r].Lock()
+		res, _ := s.prob.Update(r, s.bounds, x)
+		// Snapshot outgoing segments and the arrival bookkeeping under
+		// the lock.
+		for i, tg := range targets {
+			copy(spare[i], x[tg.Seg.Lo:tg.Seg.Hi])
+		}
+		heardAll := len(s.lastArrival[r]) == s.plan.RecvCount[r]
+		fresh := s.allFresherThan(r, convergedAt)
+		s.mus[r].Unlock()
+		s.iters[r]++
+		s.itersDone.Add(1)
+
+		for i, tg := range targets {
+			select {
+			case outs[i] <- transport.Msg{
+				Type: transport.MsgData, From: int32(r), Key: int32(tg.Key),
+				Seq: int32(iter), Lo: int32(tg.Seg.Lo), Values: spare[i],
+			}:
+				spare[i], inflight[i] = inflight[i], spare[i]
+			default: // previous send still in progress: skip
+			}
+		}
+
+		if res < cfg.Eps && res == res /* not NaN */ {
+			streak++
+		} else {
+			streak = 0
+		}
+		conv := streak >= cfg.PersistIters && heardAll
+		switch {
+		case !conv:
+			if phase == 2 {
+				seq++
+				sendState(seq, false)
+				lastStateAt = time.Now()
+			}
+			phase = 0
+		case phase == 0:
+			phase = 1
+			convergedAt = time.Now()
+		case phase == 1 && fresh:
+			// Confirmed: every dependency channel has delivered data sent
+			// after we converged and the residual stayed below eps.
+			phase = 2
+			seq++
+			sendState(seq, true)
+			lastStateAt = time.Now()
+		case phase == 2 && time.Since(lastStateAt) >= cfg.Heartbeat:
+			seq++
+			sendState(seq, true)
+			lastStateAt = time.Now()
+		}
+		// Yield so receive threads, senders, and the coordinator get
+		// scheduled promptly even with GOMAXPROCS < ranks — the
+		// cooperative-fairness discipline of the paper's user-level
+		// thread packages.
+		runtime.Gosched()
+	}
+	if !s.stopped(r) && !s.aborted() {
+		s.capped[r] = true
+	}
+}
+
+// allFresherThan reports whether every dependency channel of rank r has
+// delivered a message after t. Caller holds the rank's mutex.
+func (s *solver) allFresherThan(r int, t time.Time) bool {
+	if len(s.lastArrival[r]) < s.plan.RecvCount[r] {
+		return false
+	}
+	for _, at := range s.lastArrival[r] {
+		if !at.After(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- sync mode ---
+
+// runSync is the SISC loop: compute, blocking exchange, global residual
+// reduction — all ranks in lockstep. A lost exchange message deadlocks the
+// lockstep, which the wall-clock watchdog turns into a reported stall
+// (SISC has no recovery protocol; the simulator reports the same fate).
+func (s *solver) runSync(r int) {
+	cfg := s.cfg
+	targets := s.plan.Targets[r]
+	x := s.xs[r]
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if s.aborted() {
+			return
+		}
+		s.mus[r].Lock()
+		res, _ := s.prob.Update(r, s.bounds, x)
+		sends := make([]transport.Msg, len(targets))
+		for i, tg := range targets {
+			v := make([]float64, tg.Seg.Len())
+			copy(v, x[tg.Seg.Lo:tg.Seg.Hi])
+			sends[i] = transport.Msg{
+				Type: transport.MsgData, From: int32(r), Key: int32(tg.Key),
+				Seq: int32(iter), Lo: int32(tg.Seg.Lo), Values: v,
+			}
+		}
+		s.mus[r].Unlock()
+		s.iters[r]++
+		s.itersDone.Add(1)
+
+		// Blocking exchange: the sends of one round overlap (one helper
+		// per target, like MPI_Isend + Waitall), then block until every
+		// dependency message of the round has been incorporated.
+		var swg sync.WaitGroup
+		for i, tg := range targets {
+			swg.Add(1)
+			go func(to int, m transport.Msg) {
+				defer swg.Done()
+				_ = s.tr.Send(r, to, m)
+			}(tg.To, sends[i])
+		}
+		swg.Wait()
+		want := int64(iter+1) * int64(s.plan.RecvCount[r])
+		for s.recvTotal[r].Load() < want {
+			select {
+			case <-s.notify[r]:
+			case <-s.abort:
+				return
+			}
+		}
+
+		global, ok := s.allreduceMax(r, int32(iter), res)
+		if !ok {
+			return
+		}
+		if global < cfg.Eps {
+			s.syncConverged.Store(true)
+			return
+		}
+	}
+	s.capped[r] = true
+}
+
+// allreduceMax folds v over all ranks through the rank-0 reducer and
+// returns the global maximum. ok is false when the solve aborted mid-wait.
+// Round -1 doubles as the entry barrier.
+func (s *solver) allreduceMax(r int, round int32, v float64) (float64, bool) {
+	if r == 0 {
+		s.contribute(round, v)
+	} else {
+		if s.tr.Send(r, 0, transport.Msg{
+			Type: transport.MsgReduce, From: int32(r), Seq: round, Values: []float64{v},
+		}) != nil {
+			return 0, false
+		}
+	}
+	for {
+		s.resMu.Lock()
+		out, done := s.results[round]
+		s.resMu.Unlock()
+		if done {
+			return out, true
+		}
+		select {
+		case <-s.notify[r]:
+		case <-s.abort:
+			return 0, false
+		}
+	}
+}
+
+// contribute folds one rank's value into the reduction round; when the
+// round completes, rank 0 publishes the result to every rank.
+func (s *solver) contribute(round int32, v float64) {
+	if done, max := s.reduce.add(round, v, s.n); done {
+		s.resMu.Lock()
+		s.results[round] = max
+		// Publishing round k means every rank has consumed k-1 (its
+		// contribution to k waited on it), so rounds ≤ k-2 are dead:
+		// prune them to keep the map O(1) over a long sync solve.
+		delete(s.results, round-2)
+		s.resMu.Unlock()
+		s.wake(0)
+		for to := 1; to < s.n; to++ {
+			to := to
+			s.spawn(func() {
+				s.sendReliable(0, to, transport.Msg{
+					Type: transport.MsgReduceResult, From: 0, Seq: round, Values: []float64{max},
+				})
+			})
+		}
+	}
+}
+
+// reducer collects per-round allreduce contributions on rank 0.
+type reducer struct {
+	mu     sync.Mutex
+	rounds map[int32]*reduceRound
+}
+
+type reduceRound struct {
+	count int
+	max   float64
+}
+
+func (rd *reducer) add(round int32, v float64, n int) (done bool, max float64) {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	rr := rd.rounds[round]
+	if rr == nil {
+		rr = &reduceRound{max: v}
+		rd.rounds[round] = rr
+	} else if v > rr.max {
+		rr.max = v
+	}
+	rr.count++
+	if rr.count == n {
+		delete(rd.rounds, round)
+		return true, rr.max
+	}
+	return false, 0
+}
+
+// --- coordinator (async global convergence detection, rank 0) ---
+
+// onState folds a convergence-state message into the coordinator — the
+// engine's centralized detection with the grace-window hardening, on wall
+// clocks.
+func (s *solver) onState(m transport.Msg) {
+	c := s.coord
+	c.mu.Lock()
+	c.msgs++
+	if c.stopped {
+		c.mu.Unlock()
+		// A state message after the stop means its sender missed the
+		// broadcast: repeat the stop rather than letting it run to cap.
+		from := int(m.From)
+		if from != 0 {
+			s.spawn(func() {
+				s.sendReliable(0, from, transport.Msg{Type: transport.MsgStop, From: 0})
+			})
+		}
+		return
+	}
+	from := int(m.From)
+	if c.conv[from] == m.Flag {
+		c.mu.Unlock()
+		return // duplicate (heartbeat)
+	}
+	c.conv[from] = m.Flag
+	if !m.Flag {
+		c.count--
+		c.gen++
+		c.mu.Unlock()
+		return
+	}
+	c.count++
+	if c.count < c.n {
+		c.mu.Unlock()
+		return
+	}
+	// Every rank has confirmed: arm the delayed stop.
+	gen := c.gen
+	c.timer = time.AfterFunc(s.cfg.Grace, func() {
+		c.mu.Lock()
+		fire := c.gen == gen && c.count == c.n && !c.stopped
+		if fire {
+			c.stopped = true
+		}
+		c.mu.Unlock()
+		if fire {
+			s.broadcastStop()
+		}
+	})
+	c.mu.Unlock()
+}
+
+type coordinator struct {
+	mu      sync.Mutex
+	n       int
+	conv    []bool
+	count   int
+	msgs    int
+	stopped bool
+	gen     int
+	timer   *time.Timer
+}
+
+func (c *coordinator) isStopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
+}
+
+func (c *coordinator) msgCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgs
+}
+
+func (c *coordinator) graceTimer() *time.Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timer
+}

@@ -1,0 +1,121 @@
+package backend
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aiac/internal/transport"
+)
+
+// This file gives the simulated grids (internal/cluster) a native
+// analogue: a per-link transport.Shaping matrix whose delays keep the
+// *structure* of each platform — which ranks sit together on a fast LAN,
+// which talk across a slow uplink, and where the ADSL asymmetry is — at
+// wall-clock scales chosen so a native sweep stays interactive. The
+// absolute numbers are deliberately much smaller than the simulator's
+// (the DES can afford a 128 kb/s uplink taking seconds per message; a
+// wall-clock sweep cannot), so native times are compared through the
+// calibration table (internal/report), not read as reproductions of the
+// paper's.
+//
+// Site assignment matches the cluster builders: round-robin over the
+// grid's sites, with the last site of "adsl" behind the asymmetric link.
+
+// The wall-clock delay scales of the native grids.
+const (
+	lanDelay      = 200 * time.Microsecond // 100 Mb/s local Ethernet
+	fastDelay     = 50 * time.Microsecond  // Myrinet-class local network
+	wanDelay      = 5 * time.Millisecond   // inter-site long-distance link
+	adslUpDelay   = 60 * time.Millisecond  // out of the ADSL site (128 kb/s up)
+	adslDownDelay = 25 * time.Millisecond  // into the ADSL site (512 kb/s down)
+)
+
+// GridNames lists the native grid profiles (the simulator's grid axis).
+var GridNames = []string{"3site", "adsl", "local", "multiproto"}
+
+// GridShaping returns the n×n per-link shaping matrix of the named grid
+// profile.
+func GridShaping(grid string, n int) ([][]transport.Shaping, error) {
+	site, sites, err := siteLayout(grid)
+	if err != nil {
+		return nil, err
+	}
+	m := make([][]transport.Shaping, n)
+	for from := 0; from < n; from++ {
+		m[from] = make([]transport.Shaping, n)
+		for to := 0; to < n; to++ {
+			if to == from {
+				continue
+			}
+			m[from][to] = linkShape(grid, site(from), site(to), sites)
+		}
+	}
+	return m, nil
+}
+
+// ApplyGridShaping shapes every link of tr according to the named grid
+// profile. Must be called before tr.Start.
+func ApplyGridShaping(tr transport.Transport, grid string) error {
+	m, err := GridShaping(grid, tr.Size())
+	if err != nil {
+		return err
+	}
+	for from := range m {
+		for to := range m[from] {
+			if to != from {
+				tr.SetShaping(from, to, m[from][to])
+			}
+		}
+	}
+	return nil
+}
+
+// siteLayout returns the rank → site assignment of the grid (round-robin,
+// like the cluster builders) and its site count.
+func siteLayout(grid string) (func(rank int) int, int, error) {
+	switch grid {
+	case "3site":
+		return func(r int) int { return r % 3 }, 3, nil
+	case "adsl":
+		return func(r int) int { return r % 4 }, 4, nil
+	case "local", "multiproto":
+		return func(int) int { return 0 }, 1, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown native grid %q (known: %s)", grid, strings.Join(GridNames, ", "))
+	}
+}
+
+// linkShape picks the delay of one directed link from the grid's
+// structure. The ADSL grid's last site is behind the asymmetric uplink:
+// leaving it is slower than entering it, mirroring 128 kb/s up versus
+// 512 kb/s down.
+func linkShape(grid string, fromSite, toSite, sites int) transport.Shaping {
+	if fromSite == toSite {
+		if grid == "multiproto" {
+			return transport.Shaping{Delay: fastDelay}
+		}
+		return transport.Shaping{Delay: lanDelay}
+	}
+	if grid == "adsl" {
+		if fromSite == sites-1 {
+			return transport.Shaping{Delay: adslUpDelay}
+		}
+		if toSite == sites-1 {
+			return transport.Shaping{Delay: adslDownDelay}
+		}
+	}
+	return transport.Shaping{Delay: wanDelay}
+}
+
+// NewTransport builds the named transport ("chan" or "tcp") over n ranks.
+func NewTransport(name string, n int) (transport.Transport, error) {
+	switch name {
+	case "chan":
+		return transport.NewChan(n), nil
+	case "tcp":
+		return transport.NewTCP(n), nil
+	default:
+		return nil, fmt.Errorf("unknown transport %q (known: chan, tcp)", name)
+	}
+}

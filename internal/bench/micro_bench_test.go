@@ -1,0 +1,63 @@
+package bench
+
+// Micro-benchmarks for the hot path every backend shares: the banded
+// matrix-vector product and the relaxation (gradient) step that each AIAC
+// iteration performs on its row block. The native backend
+// (internal/backend) executes this arithmetic for real — a native rank's
+// iteration rate is bounded by it — and the simulator's host time is
+// dominated by it at paper scales, so future PRs touching internal/sparse
+// can cite per-iteration cost from here:
+//
+//	go test -run '^$' -bench . ./internal/bench
+
+import (
+	"testing"
+
+	"aiac/internal/problems"
+)
+
+// benchSystem matches the default sweep's linear cells: n=12000, 12
+// off-diagonals, one rank's block of an 8-rank partition.
+func benchSystem(b *testing.B) (*problems.Linear, []int, []float64) {
+	b.Helper()
+	prob := problems.NewLinear(12000, 12, 0.85, 20040426)
+	bounds := prob.PartitionBounds(8)
+	x := prob.InitialVector()
+	return prob, bounds, x
+}
+
+// BenchmarkRowRangeMulVec measures one rank-block banded matvec — the
+// inner product of every iteration.
+func BenchmarkRowRangeMulVec(b *testing.B) {
+	prob, bounds, x := benchSystem(b)
+	lo, hi := bounds[0], bounds[1]
+	dst := make([]float64, hi-lo)
+	b.SetBytes(int64(8 * (hi - lo) * len(prob.A.Offsets)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prob.A.RowRangeMulVec(lo, hi, dst, x)
+	}
+}
+
+// BenchmarkGradientStep measures one full relaxation iteration on a rank
+// block (matvec + update + residual), i.e. one aiac.Problem.Update.
+func BenchmarkGradientStep(b *testing.B) {
+	prob, bounds, x := benchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prob.Update(0, bounds, x)
+	}
+}
+
+// BenchmarkGradientStepWholeMatrix measures the relaxation over all 8
+// blocks — one "round" of the grid, the unit the native wall clock is made
+// of.
+func BenchmarkGradientStepWholeMatrix(b *testing.B) {
+	prob, bounds, x := benchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 8; r++ {
+			prob.Update(r, bounds, x)
+		}
+	}
+}

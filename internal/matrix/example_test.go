@@ -26,9 +26,9 @@ func ExampleRun() {
 		fmt.Printf("%s converged=%v\n", r.Key(), r.Converged)
 	}
 	// Output:
-	// mpi/sync/local/linear/p4/n4000/static converged=true
-	// pm2/sync/local/linear/p4/n4000/static converged=true
-	// pm2/async/local/linear/p4/n4000/static converged=true
+	// mpi/sync/local/linear/p4/n4000/static/sim converged=true
+	// pm2/sync/local/linear/p4/n4000/static/sim converged=true
+	// pm2/async/local/linear/p4/n4000/static/sim converged=true
 }
 
 // ExampleSpec_Cells shows the enumeration: grouping axes outermost, then
@@ -47,10 +47,10 @@ func ExampleSpec_Cells() {
 		fmt.Println(c.Key())
 	}
 	// Output:
-	// mpi/sync/3site/linear/p8/n30000/static
-	// pm2/sync/3site/linear/p8/n30000/static
-	// pm2/async/3site/linear/p8/n30000/static
-	// mpi/sync/adsl/linear/p8/n30000/static
-	// pm2/sync/adsl/linear/p8/n30000/static
-	// pm2/async/adsl/linear/p8/n30000/static
+	// mpi/sync/3site/linear/p8/n30000/static/sim
+	// pm2/sync/3site/linear/p8/n30000/static/sim
+	// pm2/async/3site/linear/p8/n30000/static/sim
+	// mpi/sync/adsl/linear/p8/n30000/static/sim
+	// pm2/sync/adsl/linear/p8/n30000/static/sim
+	// pm2/async/adsl/linear/p8/n30000/static/sim
 }

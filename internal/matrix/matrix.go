@@ -1,13 +1,24 @@
 // Package matrix enumerates and schedules the paper's experiment matrix:
 // every measurement of the evaluation (§5) is one *cell* — an (environment,
-// mode, grid, problem, procs, size, scenario) combination — and a sweep is
-// the set of cells selected by a Spec, executed across a bounded pool of
-// concurrent discrete-event simulations and streamed into internal/report.
+// mode, grid, problem, procs, size, scenario, backend) combination — and a
+// sweep is the set of cells selected by a Spec, executed across a bounded
+// pool of concurrent discrete-event simulations (plus natively executed
+// cells, see below) and streamed into internal/report.
 //
 // Six of the axes are the ones the paper varies; the seventh — scenario —
 // goes beyond it (internal/scenario): a scripted grid-dynamics timeline
 // (link flaps, background load, node churn, message loss) applied to the
 // cell's simulation, with "static" reproducing the paper's original grids.
+// The eighth — backend — selects what executes the cell: "sim" runs the
+// discrete-event simulation exactly as before, while "chan" and "tcp" run
+// the solve natively (internal/backend) on goroutine ranks over an
+// in-process or TCP-loopback transport shaped like the cell's grid,
+// measuring wall-clock time on this host. Native cells use the pseudo-
+// environment "go" (the Go runtime is their middleware — §6's feature
+// list, provided natively), cover the linear problem, and run under the
+// static scenario; they execute serially after the simulated pool so
+// concurrent cells cannot oversubscribe the host and corrupt each other's
+// wall clocks.
 //
 // The paper's axes:
 //
@@ -58,9 +69,16 @@ var (
 	// ScenarioNames lists the grid-dynamics presets (internal/scenario),
 	// the static grid first.
 	ScenarioNames = scenario.Names()
+	// BackendNames lists the execution backends: the simulator first,
+	// then the native transports (internal/backend).
+	BackendNames = []string{"sim", "chan", "tcp"}
 	// Modes lists the iteration schemes, baseline first.
 	Modes = []aiac.Mode{aiac.Sync, aiac.Async}
 )
+
+// NativeEnv is the pseudo-environment of natively executed cells: their
+// middleware is the Go runtime itself.
+const NativeEnv = "go"
 
 // Cell is one experiment of the matrix.
 type Cell struct {
@@ -75,15 +93,18 @@ type Cell struct {
 	// Scenario names the grid-dynamics preset applied to the cell's
 	// simulation ("" means static).
 	Scenario string
+	// Backend selects the execution backend ("" means sim).
+	Backend string
 }
 
-// Key identifies the cell: env/mode/grid/problem/pP/nN/scenario. It
-// delegates to report.Result.Key so a cell and its result always share one
-// identity.
+// Key identifies the cell: env/mode/grid/problem/pP/nN/scenario/backend.
+// It delegates to report.Result.Key so a cell and its result always share
+// one identity.
 func (c Cell) Key() string {
 	return report.Result{
 		Env: c.Env, Mode: c.Mode.String(), Grid: c.Grid,
 		Problem: c.Problem, Procs: c.Procs, Size: c.Size, Scenario: c.Scenario,
+		Backend: c.Backend,
 	}.Key()
 }
 
@@ -121,6 +142,9 @@ type Spec struct {
 	Procs     []int
 	Sizes     []int
 	Scenarios []string
+	// Backends selects the execution backends (empty = sim only; native
+	// backends must be asked for — they spend real wall time per cell).
+	Backends []string
 
 	Linear LinearParams
 	Chem   ChemParams
@@ -142,6 +166,7 @@ func DefaultSpec() Spec {
 		Problems:  []string{"linear"},
 		Procs:     []int{8},
 		Scenarios: []string{"static"},
+		Backends:  []string{"sim"},
 		Linear:    LinearParams{Diags: 12, Rho: 0.85, Eps: 1e-5, MaxIters: 3000000, Seed: 20040426},
 		Chem:      ChemParams{StepS: 180, HorizonS: 540, Eps: 1e-6, GmresTol: 1e-6},
 	}
@@ -158,11 +183,15 @@ func DefaultSizeFor(problem string) int {
 }
 
 // Cells enumerates the spec's cells in deterministic presentation order:
-// grouping axes (problem, grid, procs, size, scenario) outermost — the
-// static scenario first, so every dynamic group follows the baseline it is
-// compared against — then the versions (mode × env, baseline first), the
-// row order of the paper's tables. Unsupported (env, mode) pairs are
-// skipped.
+// grouping axes (problem, grid, procs, size, scenario, backend) outermost
+// — the static scenario first, so every dynamic group follows the baseline
+// it is compared against, and the simulator before the native backends, so
+// native groups follow their simulated twins — then the versions (mode ×
+// env, baseline first), the row order of the paper's tables. Unsupported
+// (env, mode) pairs are skipped. Native backends enumerate one version per
+// mode under the pseudo-environment "go", for the linear problem under the
+// static scenario only: a native run has no simulated middleware to vary
+// and no scripted virtual-time perturbations to apply.
 func (s Spec) Cells() []Cell {
 	s = s.withDefaults()
 	var cells []Cell
@@ -175,16 +204,29 @@ func (s Spec) Cells() []Cell {
 			for _, procs := range s.Procs {
 				for _, size := range sizes {
 					for _, scen := range s.Scenarios {
-						for _, mode := range s.Modes {
-							for _, env := range s.Envs {
-								if !Supported(env, mode) {
+						for _, bk := range s.Backends {
+							if bk != "sim" && (prob != "linear" || scen != "static") {
+								continue
+							}
+							for _, mode := range s.Modes {
+								if bk != "sim" {
+									cells = append(cells, Cell{
+										Env: NativeEnv, Mode: mode, Grid: grid,
+										Problem: prob, Procs: procs, Size: size,
+										Scenario: scen, Backend: bk,
+									})
 									continue
 								}
-								cells = append(cells, Cell{
-									Env: env, Mode: mode, Grid: grid,
-									Problem: prob, Procs: procs, Size: size,
-									Scenario: scen,
-								})
+								for _, env := range s.Envs {
+									if !Supported(env, mode) {
+										continue
+									}
+									cells = append(cells, Cell{
+										Env: env, Mode: mode, Grid: grid,
+										Problem: prob, Procs: procs, Size: size,
+										Scenario: scen, Backend: bk,
+									})
+								}
 							}
 						}
 					}
@@ -214,6 +256,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Scenarios) == 0 {
 		s.Scenarios = []string{"static"}
+	}
+	if len(s.Backends) == 0 {
+		s.Backends = []string{"sim"}
 	}
 	if s.Linear == (LinearParams{}) {
 		s.Linear = d.Linear
@@ -268,6 +313,16 @@ func ParseProblems(csv string) ([]string, error) { return parseAxis("problem", c
 // ParseScenarios parses a grid-dynamics scenario filter
 // ("static,flaky-adsl"; "" = all presets).
 func ParseScenarios(csv string) ([]string, error) { return parseAxis("scenario", csv, ScenarioNames) }
+
+// ParseBackends parses an execution-backend filter ("sim,chan,tcp").
+// Unlike the other axes an empty filter selects only the simulator:
+// native backends spend real wall time per cell and must be asked for.
+func ParseBackends(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return []string{"sim"}, nil
+	}
+	return parseAxis("backend", csv, BackendNames)
+}
 
 // ParseModes parses a mode filter ("async,sync"; "" = both, baseline
 // first).

@@ -4,9 +4,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"aiac/internal/aiac"
 	"aiac/internal/report"
+	"aiac/internal/trace"
 )
 
 // smallSpec is a fast spec for runner tests: three versions on the local
@@ -194,8 +196,8 @@ func TestScenarioAxisEnumeration(t *testing.T) {
 	if cells[0].Scenario != "static" || cells[3].Scenario != "flaky-adsl" {
 		t.Fatalf("scenario order wrong: %s then %s", cells[0].Key(), cells[3].Key())
 	}
-	if !strings.HasSuffix(cells[5].Key(), "/flaky-adsl") {
-		t.Fatalf("cell key lacks the scenario: %s", cells[5].Key())
+	if !strings.HasSuffix(cells[5].Key(), "/flaky-adsl/sim") {
+		t.Fatalf("cell key lacks the scenario/backend suffix: %s", cells[5].Key())
 	}
 }
 
@@ -239,6 +241,137 @@ func TestScenarioCellRuns(t *testing.T) {
 	}
 	if dyn.ReconvergeSec <= 0 {
 		t.Errorf("no reconvergence time measured: %+v", dyn)
+	}
+}
+
+func TestBackendAxisEnumeration(t *testing.T) {
+	spec := smallSpec()
+	spec.Backends = []string{"sim", "chan", "tcp"}
+	cells := spec.Cells()
+	// 3 sim versions + 2 native versions (sync go, async go) per native
+	// backend.
+	if len(cells) != 7 {
+		t.Fatalf("enumerated %d cells, want 7: %v", len(cells), cells)
+	}
+	if cells[0].backendName() != "sim" || cells[3].Backend != "chan" || cells[5].Backend != "tcp" {
+		t.Fatalf("backend order wrong: %s / %s / %s", cells[0].Key(), cells[3].Key(), cells[5].Key())
+	}
+	for _, c := range cells[3:] {
+		if c.Env != NativeEnv {
+			t.Fatalf("native cell %s should use the %q pseudo-environment", c.Key(), NativeEnv)
+		}
+		if c.Mode == aiac.Sync && c != cells[3] && c != cells[5] {
+			t.Fatalf("native versions out of baseline-first order: %s", c.Key())
+		}
+	}
+	if !strings.HasSuffix(cells[6].Key(), "/static/tcp") {
+		t.Fatalf("cell key lacks the backend suffix: %s", cells[6].Key())
+	}
+
+	// Native cells exist only for linear×static: a chem spec or a dynamic
+	// scenario enumerates no native cells.
+	chemSpec := spec
+	chemSpec.Problems = []string{"chem"}
+	for _, c := range chemSpec.Cells() {
+		if c.backendName() != "sim" {
+			t.Fatalf("enumerated a native chem cell: %s", c.Key())
+		}
+	}
+	dynSpec := spec
+	dynSpec.Scenarios = []string{"flaky-adsl"}
+	for _, c := range dynSpec.Cells() {
+		if c.backendName() != "sim" {
+			t.Fatalf("enumerated a native dynamic-scenario cell: %s", c.Key())
+		}
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	got, err := ParseBackends("chan, tcp")
+	if err != nil || !reflect.DeepEqual(got, []string{"chan", "tcp"}) {
+		t.Fatalf("ParseBackends = %v, %v", got, err)
+	}
+	if def, err := ParseBackends(""); err != nil || !reflect.DeepEqual(def, []string{"sim"}) {
+		t.Fatalf("empty backend filter should select sim only, got %v, %v", def, err)
+	}
+	if _, err := ParseBackends("cuda"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestNativeCellRuns sweeps native cells end to end through the matrix:
+// both transports, both modes, wall-clock columns filled, residual at the
+// simulated twin's tolerance.
+func TestNativeCellRuns(t *testing.T) {
+	spec := smallSpec()
+	spec.Envs = []string{"pm2"}
+	spec.Backends = []string{"sim", "chan", "tcp"}
+	set, err := Run(spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sim versions (sync/async pm2) + 2 native versions × 2 transports.
+	if len(set.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(set.Results))
+	}
+	native := 0
+	for _, r := range set.Results {
+		if r.Error != "" {
+			t.Fatalf("cell %s failed: %s", r.Key(), r.Error)
+		}
+		if !r.Converged {
+			t.Fatalf("cell %s did not converge", r.Key())
+		}
+		if r.BackendOrSim() == "sim" {
+			if r.WallSec != 0 {
+				t.Errorf("sim cell %s has a wall clock: %+v", r.Key(), r)
+			}
+			continue
+		}
+		native++
+		if r.Env != NativeEnv {
+			t.Errorf("native result %s should be env %q", r.Key(), NativeEnv)
+		}
+		if r.WallSec <= 0 || r.TimeSec != r.WallSec {
+			t.Errorf("native cell %s: TimeSec %g should equal WallSec %g > 0", r.Key(), r.TimeSec, r.WallSec)
+		}
+		if r.Residual > 1e-4 {
+			t.Errorf("native cell %s residual %g too large", r.Key(), r.Residual)
+		}
+		if r.Messages == 0 || r.Iters == 0 {
+			t.Errorf("native cell %s has empty measurements: %+v", r.Key(), r)
+		}
+	}
+	if native != 4 {
+		t.Fatalf("ran %d native cells, want 4", native)
+	}
+}
+
+// A native cell that cannot finish must be cancelled by the sweep's
+// wall-clock guard and reported as stalled, not hang the run.
+func TestNativeCellTimeoutStalls(t *testing.T) {
+	spec := smallSpec()
+	spec.Backends = []string{"chan"}
+	spec.Modes = []aiac.Mode{aiac.Async}
+	spec.Linear.Eps = 1e-300 // unreachable
+	set, err := Run(spec, Options{Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := set.Results[0]
+	if r.Error != "" {
+		t.Fatalf("cell errored instead of stalling: %s", r.Error)
+	}
+	if !r.Stalled || r.Converged {
+		t.Fatalf("timed-out native cell should report a stall: %+v", r)
+	}
+}
+
+func TestTracingNativeCellRejected(t *testing.T) {
+	c := Cell{Env: NativeEnv, Mode: aiac.Async, Grid: "local", Problem: "linear",
+		Procs: 2, Size: 500, Backend: "chan"}
+	if _, err := RunCellOnce(c, DefaultSpec(), 0, 0, trace.New()); err == nil {
+		t.Fatal("tracing a native cell should be rejected")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aiac/internal/aiac"
+	"aiac/internal/backend"
 	"aiac/internal/chem"
 	"aiac/internal/des"
 	"aiac/internal/gmres"
@@ -25,6 +26,16 @@ type Options struct {
 	// cell owns its simulator, and the result set is ordered by the
 	// spec's enumeration order, not by completion order.
 	Workers int
+	// NativeWorkers bounds the number of native (chan/tcp backend) cells
+	// executed concurrently. Native cells measure wall-clock time, so
+	// they run in their own phase after every simulated cell has
+	// finished, and default to one at a time: a second concurrent native
+	// cell would oversubscribe the host and corrupt both measurements.
+	NativeWorkers int
+	// Timeout is the wall-clock guard of each native cell: a cell still
+	// running after this long is cancelled and reported as stalled
+	// rather than hanging the sweep. Default 2 minutes.
+	Timeout time.Duration
 	// Reps is the number of repetitions per cell, aggregated as
 	// median/min of the simulated time. Linear-problem repetition r
 	// perturbs the matrix seed to Seed+r; with a non-zero Seed (below),
@@ -44,50 +55,77 @@ type Options struct {
 	OnResult func(report.Result)
 }
 
-// Run sweeps every cell of the spec across the worker pool and returns the
-// collected results in enumeration order.
+// Run sweeps every cell of the spec and returns the collected results in
+// enumeration order. Simulated cells run first across the worker pool;
+// native cells follow in their own phase with NativeWorkers-bounded
+// (default: serial) execution, so their wall-clock measurements are taken
+// on an otherwise quiet host.
 func Run(spec Spec, opt Options) (*report.Set, error) {
 	spec = spec.withDefaults()
 	cells := spec.Cells()
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("matrix: spec selects no cells")
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
 	reps := opt.Reps
 	if reps <= 0 {
 		reps = 1
 	}
 
+	var simIdx, nativeIdx []int
+	for i, c := range cells {
+		if c.backendName() == "sim" {
+			simIdx = append(simIdx, i)
+		} else {
+			nativeIdx = append(nativeIdx, i)
+		}
+	}
+
 	results := make([]report.Result, len(cells))
-	jobs := make(chan int)
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				r := runCell(cells[i], spec, reps, opt.Seed)
-				results[i] = r
-				if opt.OnResult != nil {
-					mu.Lock()
-					opt.OnResult(r)
-					mu.Unlock()
+	runPhase := func(idx []int, workers int) {
+		if len(idx) == 0 {
+			return
+		}
+		if workers <= 0 {
+			workers = 1
+		}
+		if workers > len(idx) {
+			workers = len(idx)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					r := runCell(cells[i], spec, reps, opt.Seed, opt.Timeout)
+					results[i] = r
+					if opt.OnResult != nil {
+						mu.Lock()
+						opt.OnResult(r)
+						mu.Unlock()
+					}
 				}
-			}
-		}()
+			}()
+		}
+		for _, i := range idx {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	for i := range cells {
-		jobs <- i
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	close(jobs)
-	wg.Wait()
+	runPhase(simIdx, workers)
+	nativeWorkers := opt.NativeWorkers
+	if nativeWorkers <= 0 {
+		nativeWorkers = 1
+	}
+	runPhase(nativeIdx, nativeWorkers)
 
 	return &report.Set{Results: results}, nil
 }
@@ -105,17 +143,19 @@ type measurement struct {
 	stalled       bool
 	reconvergeSec float64
 	restarts      int
+	wallSec       float64
 }
 
 // result converts the repetition into a single-rep report.Result for c.
 func (m measurement) result(c Cell) report.Result {
 	return report.Result{
 		Env: c.Env, Mode: c.Mode.String(), Grid: c.Grid, Problem: c.Problem,
-		Procs: c.Procs, Size: c.Size, Scenario: c.scenarioName(), Reps: 1,
+		Procs: c.Procs, Size: c.Size, Scenario: c.scenarioName(), Backend: c.backendName(), Reps: 1,
 		TimeSec: m.timeSec, MinTimeSec: m.timeSec, Iters: m.iters,
 		Messages: m.messages, Bytes: m.bytes, InterSite: m.interSite,
 		Dropped: m.dropped, Residual: m.residual, Converged: m.converged,
 		Stalled: m.stalled, ReconvergeSec: m.reconvergeSec, Restarts: m.restarts,
+		WallSec: m.wallSec,
 	}
 }
 
@@ -127,23 +167,32 @@ func (c Cell) scenarioName() string {
 	return c.Scenario
 }
 
-// runCell simulates one cell's repetitions and aggregates them.
-func runCell(c Cell, spec Spec, reps int, seed int64) report.Result {
+// backendName normalises the cell's backend ("" means sim).
+func (c Cell) backendName() string {
+	if c.Backend == "" {
+		return "sim"
+	}
+	return c.Backend
+}
+
+// runCell executes one cell's repetitions and aggregates them.
+func runCell(c Cell, spec Spec, reps int, seed int64, timeout time.Duration) report.Result {
 	// Without a jitter seed, only the linear problem has a seed axis to
 	// perturb per repetition; the chemical simulation is then fully
 	// deterministic and extra reps would be bit-identical reruns — run it
-	// once.
-	if c.Problem != "linear" && seed == 0 {
+	// once. Native cells are nondeterministic by nature (real scheduling,
+	// real wire), so their repetitions always measure distinct runs.
+	if c.backendName() == "sim" && c.Problem != "linear" && seed == 0 {
 		reps = 1
 	}
 	out := report.Result{
 		Env: c.Env, Mode: c.Mode.String(), Grid: c.Grid, Problem: c.Problem,
-		Procs: c.Procs, Size: c.Size, Scenario: c.scenarioName(), Reps: reps,
+		Procs: c.Procs, Size: c.Size, Scenario: c.scenarioName(), Backend: c.backendName(), Reps: reps,
 	}
 	t0 := time.Now()
 	ms := make([]measurement, 0, reps)
 	for rep := 0; rep < reps; rep++ {
-		m, err := runOnce(c, spec, rep, seed, nil)
+		m, err := runOnce(c, spec, rep, seed, timeout, nil)
 		if err != nil {
 			out.Error = err.Error()
 			out.HostSec = time.Since(t0).Seconds()
@@ -175,15 +224,22 @@ func runCell(c Cell, spec Spec, reps int, seed int64) report.Result {
 // repetition (Reps == 1).
 func RunCellOnce(c Cell, spec Spec, rep int, seed int64, tr *trace.Collector) (report.Result, error) {
 	spec = spec.withDefaults()
-	m, err := runOnce(c, spec, rep, seed, tr)
+	if c.backendName() != "sim" && tr != nil {
+		return report.Result{}, fmt.Errorf("tracing needs the sim backend (cell %s runs natively)", c.Key())
+	}
+	m, err := runOnce(c, spec, rep, seed, 0, tr)
 	if err != nil {
 		return report.Result{}, err
 	}
 	return m.result(c), nil
 }
 
-// runOnce executes one repetition of a cell in a fresh simulator.
-func runOnce(c Cell, spec Spec, rep int, seed int64, tr *trace.Collector) (measurement, error) {
+// runOnce executes one repetition of a cell — in a fresh simulator for sim
+// cells, natively over a fresh transport otherwise.
+func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector) (measurement, error) {
+	if c.backendName() != "sim" {
+		return runNative(c, spec, rep, timeout)
+	}
 	scen, err := scenario.ByName(c.scenarioName())
 	if err != nil {
 		return measurement{}, err
@@ -258,5 +314,56 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, tr *trace.Collector) (measu
 	// on drained inboxes) so a big sweep of stall-producing scenarios does
 	// not accumulate unreclaimable goroutines and simulator heaps.
 	sim.Shutdown()
+	return m, nil
+}
+
+// DefaultNativeTimeout is the wall-clock guard of a native cell when
+// Options.Timeout is unset.
+const DefaultNativeTimeout = 2 * time.Minute
+
+// runNative executes one repetition of a native cell: goroutine ranks over
+// a fresh grid-shaped transport, measured in wall-clock time
+// (internal/backend). The repetition perturbs the matrix seed exactly like
+// a simulated repetition.
+func runNative(c Cell, spec Spec, rep int, timeout time.Duration) (measurement, error) {
+	if c.Problem != "linear" {
+		return measurement{}, fmt.Errorf("native backends run the linear problem (got %q)", c.Problem)
+	}
+	if c.scenarioName() != "static" {
+		return measurement{}, fmt.Errorf("native backends run the static scenario (got %q)", c.Scenario)
+	}
+	tr, err := backend.NewTransport(c.backendName(), c.Procs)
+	if err != nil {
+		return measurement{}, err
+	}
+	if err := backend.ApplyGridShaping(tr, c.Grid); err != nil {
+		return measurement{}, err
+	}
+	if timeout <= 0 {
+		timeout = DefaultNativeTimeout
+	}
+	stallAfter := 20 * time.Second
+	if stallAfter > timeout/2 {
+		stallAfter = timeout / 2
+	}
+	lp := spec.Linear
+	prob := problems.NewLinear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+	rpt, err := backend.Run(prob, tr, backend.Config{
+		Mode: c.Mode, Eps: lp.Eps, MaxIters: lp.MaxIters,
+		Timeout: timeout, StallAfter: stallAfter,
+	})
+	if err != nil {
+		return measurement{}, err
+	}
+	var m measurement
+	m.timeSec = rpt.Wall.Seconds()
+	m.wallSec = rpt.Wall.Seconds()
+	m.iters = rpt.TotalIters()
+	m.residual = la.MaxNormDiff(rpt.X, prob.XTrue)
+	m.converged = rpt.Converged()
+	m.stalled = rpt.Reason == aiac.StopStalled
+	m.messages = rpt.Net.Messages
+	m.bytes = rpt.Net.Bytes
+	m.dropped = rpt.Net.Dropped
 	return m, nil
 }

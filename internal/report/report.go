@@ -26,9 +26,9 @@ const Schema = 1
 // Result is the outcome of one experiment cell, aggregated over its
 // repetitions.
 type Result struct {
-	// Env, Mode, Grid, Problem, Procs, Size and Scenario identify the
-	// cell. An empty Scenario means "static" (files written before the
-	// grid-dynamics axis existed).
+	// Env, Mode, Grid, Problem, Procs, Size, Scenario and Backend
+	// identify the cell. An empty Scenario means "static" and an empty
+	// Backend means "sim" (files written before those axes existed).
 	Env      string `json:"env"`
 	Mode     string `json:"mode"`
 	Grid     string `json:"grid"`
@@ -36,6 +36,10 @@ type Result struct {
 	Procs    int    `json:"procs"`
 	Size     int    `json:"size"`
 	Scenario string `json:"scenario,omitempty"`
+	// Backend tells what executed the cell: "sim" (discrete-event
+	// simulation, virtual time) or a native transport ("chan", "tcp" —
+	// wall-clock goroutine ranks, internal/backend).
+	Backend string `json:"backend,omitempty"`
 
 	// Reps is the number of repetitions aggregated into this result.
 	Reps int `json:"reps"`
@@ -72,6 +76,11 @@ type Result struct {
 	Dropped uint64 `json:"dropped,omitempty"`
 	// Restarts counts rank crash/restart cycles observed (median rep).
 	Restarts int `json:"restarts,omitempty"`
+	// WallSec is the measured wall-clock execution time of a native cell
+	// (median rep). Native cells also carry it in TimeSec — wall time is
+	// their execution-time metric — so ratio columns work unchanged;
+	// WallSec stays 0 for simulated cells, whose TimeSec is virtual.
+	WallSec float64 `json:"wall_sec,omitempty"`
 	// HostSec is the host wall time spent simulating this cell (all
 	// repetitions). Not compared across runs.
 	HostSec float64 `json:"host_sec"`
@@ -89,15 +98,27 @@ func (r Result) ScenarioOrStatic() string {
 	return r.Scenario
 }
 
-// Key identifies the cell within a set: env/mode/grid/problem/pP/nN/scenario.
+// BackendOrSim returns the cell's backend, normalising the empty value of
+// pre-native result files to "sim".
+func (r Result) BackendOrSim() string {
+	if r.Backend == "" {
+		return "sim"
+	}
+	return r.Backend
+}
+
+// Key identifies the cell within a set:
+// env/mode/grid/problem/pP/nN/scenario/backend.
 func (r Result) Key() string {
-	return fmt.Sprintf("%s/%s/%s/%s/p%d/n%d/%s", r.Env, r.Mode, r.Grid, r.Problem, r.Procs, r.Size, r.ScenarioOrStatic())
+	return fmt.Sprintf("%s/%s/%s/%s/p%d/n%d/%s/%s", r.Env, r.Mode, r.Grid, r.Problem, r.Procs, r.Size, r.ScenarioOrStatic(), r.BackendOrSim())
 }
 
 // group is the table-grouping key: cells in the same group share a
-// synchronous baseline and are directly comparable.
+// synchronous baseline and are directly comparable. Simulated and native
+// cells never share a group — virtual and wall-clock seconds are
+// different units, related only through the calibration table.
 func (r Result) group() string {
-	return fmt.Sprintf("%s/%s/p%d/n%d/%s", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic())
+	return fmt.Sprintf("%s/%s/p%d/n%d/%s/%s", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic(), r.BackendOrSim())
 }
 
 // counterpartKey is the cell's identity with the scenario axis replaced by
@@ -191,7 +212,11 @@ func (s *Set) Table() string {
 			continue
 		}
 		seen[g] = true
-		fmt.Fprintf(&b, "%s — %s grid, %d procs, n=%d, scenario %s\n", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic())
+		unit := ""
+		if r.BackendOrSim() != "sim" {
+			unit = fmt.Sprintf(", %s backend (wall-clock)", r.BackendOrSim())
+		}
+		fmt.Fprintf(&b, "%s — %s grid, %d procs, n=%d, scenario %s%s\n", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic(), unit)
 		fmt.Fprintf(&b, "  %-16s %12s %8s %10s %10s %10s %10s %6s\n",
 			"version", "time", "ratio", "iters", "msgs", "MB", "residual", "conv")
 		writeGroup(&b, s.groupOf(g))
@@ -275,6 +300,72 @@ func (s *Set) DegradationTable() string {
 		fmt.Fprintf(&b, "  %-16s %12s %12s %10s %12s %8d %9d %6s\n",
 			r.version(), FmtSec(static.TimeSec), FmtSec(r.TimeSec),
 			overhead, reconv, r.Dropped, r.Restarts, conv)
+	}
+	return b.String()
+}
+
+// CalibrationTable relates the two execution backends: for every simulated
+// cell whose native twin (same mode, grid, problem, procs, size, scenario;
+// backend chan or tcp; env is the native pseudo-environment) is in the
+// set, it prints the measured wall-clock times and the ratio of simulated
+// to wall seconds. A large ratio means the simulator charges the modelled
+// grid far more time than this host needs natively — expected, since the
+// simulated grids carry the paper's 2004-era links — and a *stable* ratio
+// across versions of one grid is what validates the simulation's shape.
+// It returns "" when the set holds no sim/native pair.
+func (s *Set) CalibrationTable() string {
+	backends := []string{"chan", "tcp"}
+	// wall[backend][twin key without env] = measured wall seconds.
+	wall := make(map[string]map[string]float64)
+	twin := func(r Result) string {
+		return fmt.Sprintf("%s/%s/%s/p%d/n%d/%s", r.Mode, r.Grid, r.Problem, r.Procs, r.Size, r.ScenarioOrStatic())
+	}
+	for _, r := range s.Results {
+		if b := r.BackendOrSim(); b != "sim" && r.Error == "" && r.WallSec > 0 {
+			if wall[b] == nil {
+				wall[b] = make(map[string]float64)
+			}
+			wall[b][twin(r)] = r.WallSec
+		}
+	}
+	if len(wall) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	lastHeader := ""
+	for _, r := range s.Results {
+		if r.BackendOrSim() != "sim" || r.Error != "" {
+			continue
+		}
+		any := false
+		for _, bk := range backends {
+			if _, ok := wall[bk][twin(r)]; ok {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		if b.Len() == 0 {
+			fmt.Fprintf(&b, "Sim-vs-native calibration (ratio = simulated seconds per wall-clock second)\n\n")
+		}
+		header := fmt.Sprintf("%s — %s grid, %d procs, n=%d, scenario %s\n", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic())
+		if header != lastHeader {
+			lastHeader = header
+			b.WriteString(header)
+			fmt.Fprintf(&b, "  %-16s %12s %12s %8s %12s %8s\n",
+				"version", "sim time", "chan wall", "ratio", "tcp wall", "ratio")
+		}
+		fmt.Fprintf(&b, "  %-16s %12s", r.version(), FmtSec(r.TimeSec))
+		for _, bk := range backends {
+			w, ok := wall[bk][twin(r)]
+			if !ok || w <= 0 {
+				fmt.Fprintf(&b, " %12s %8s", "-", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %12s %8.1f", FmtSec(w), r.TimeSec/w)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

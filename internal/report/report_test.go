@@ -63,9 +63,9 @@ func TestReadFileRejectsGarbage(t *testing.T) {
 
 func TestLookup(t *testing.T) {
 	s := sample()
-	// An empty Scenario field normalises to static in the key, so files
-	// written before the grid-dynamics axis keep working.
-	r, ok := s.Lookup("pm2/async/adsl/linear/p8/n30000/static")
+	// Empty Scenario and Backend fields normalise to static/sim in the
+	// key, so files written before those axes keep working.
+	r, ok := s.Lookup("pm2/async/adsl/linear/p8/n30000/static/sim")
 	if !ok || r.Env != "pm2" {
 		t.Fatalf("Lookup = %+v, %v", r, ok)
 	}
@@ -130,6 +130,69 @@ func TestDegradationTable(t *testing.T) {
 	}
 	if !strings.Contains(out, "STALL") {
 		t.Fatalf("stalled sync cell not marked:\n%s", out)
+	}
+}
+
+// nativeSample extends sample() with native twins of both sim cells.
+func nativeSample() *Set {
+	s := sample()
+	s.Results = append(s.Results,
+		Result{Env: "go", Mode: "sync", Grid: "adsl", Problem: "linear", Procs: 8, Size: 30000,
+			Backend: "tcp", TimeSec: 3, WallSec: 3, Converged: true},
+		Result{Env: "go", Mode: "async", Grid: "adsl", Problem: "linear", Procs: 8, Size: 30000,
+			Backend: "tcp", TimeSec: 1.5, WallSec: 1.5, Converged: true},
+	)
+	return s
+}
+
+func TestCalibrationTable(t *testing.T) {
+	if sample().CalibrationTable() != "" {
+		t.Fatal("sim-only set should produce no calibration table")
+	}
+	out := nativeSample().CalibrationTable()
+	// sync mpi: 120 sim seconds over 3 wall seconds on tcp = ratio 40.0;
+	// async pm2: 30 / 1.5 = 20.0. No chan cells → dashes in chan columns.
+	if !strings.Contains(out, "40.0") || !strings.Contains(out, "20.0") {
+		t.Fatalf("calibration ratios missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sync mpi") || !strings.Contains(out, "async pm2") {
+		t.Fatalf("calibration rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "tcp wall") {
+		t.Fatalf("wall-clock column missing:\n%s", out)
+	}
+}
+
+func TestTableSeparatesBackends(t *testing.T) {
+	out := nativeSample().Table()
+	// Native cells group apart from their simulated twins (different time
+	// units) and the group header says so.
+	if !strings.Contains(out, "tcp backend (wall-clock)") {
+		t.Fatalf("native group not labelled:\n%s", out)
+	}
+	// The native group's ratio column compares native sync vs async:
+	// 3 / 1.5 = 2.00.
+	if !strings.Contains(out, "2.00") {
+		t.Fatalf("native ratio missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sync go") || !strings.Contains(out, "async go") {
+		t.Fatalf("native version rows missing:\n%s", out)
+	}
+}
+
+func TestWallSecRoundTrips(t *testing.T) {
+	s := nativeSample()
+	path := filepath.Join(t.TempDir(), "BENCH_native_test.json")
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got.Lookup("go/async/adsl/linear/p8/n30000/static/tcp")
+	if !ok || r.WallSec != 1.5 || r.Backend != "tcp" {
+		t.Fatalf("native result did not round-trip: %+v, %v", r, ok)
 	}
 }
 

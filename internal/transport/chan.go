@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Chan is the in-process transport: every directed link is a shaped FIFO
+// queue whose delivery goroutine dispatches straight into the destination
+// rank's handler. It is the fastest link the host can provide — the
+// baseline a real wire (TCP) is compared against — while still exercising
+// the full concurrent protocol: handlers run on the link goroutines, never
+// on the sender's.
+type Chan struct {
+	n        int
+	handlers []Handler
+	shapeMatrix
+	links   [][]*link
+	closed  chan struct{}
+	close   sync.Once
+	started bool
+	linkWG  sync.WaitGroup
+	stats   counters
+}
+
+// NewChan creates an in-process transport connecting n ranks.
+func NewChan(n int) *Chan {
+	if n < 1 {
+		panic("transport: need at least one rank")
+	}
+	return &Chan{
+		n:           n,
+		handlers:    make([]Handler, n),
+		shapeMatrix: newShapeMatrix(n),
+		closed:      make(chan struct{}),
+	}
+}
+
+// Name implements Transport.
+func (t *Chan) Name() string { return "chan" }
+
+// Size implements Transport.
+func (t *Chan) Size() int { return t.n }
+
+// SetHandler implements Transport.
+func (t *Chan) SetHandler(r int, h Handler) { t.handlers[r] = h }
+
+// Start implements Transport: it spawns one shaper/delivery goroutine per
+// directed link.
+func (t *Chan) Start() error {
+	if t.started {
+		return fmt.Errorf("transport: chan already started")
+	}
+	t.started = true
+	t.links = make([][]*link, t.n)
+	for from := 0; from < t.n; from++ {
+		t.links[from] = make([]*link, t.n)
+		for to := 0; to < t.n; to++ {
+			if to == from {
+				continue
+			}
+			h := t.handlers[to]
+			if h == nil {
+				return fmt.Errorf("transport: rank %d has no handler", to)
+			}
+			t.links[from][to] = newLink(t.shapes[from][to], t.closed, &t.linkWG, &t.stats, func(m Msg) error {
+				h(m)
+				return nil
+			})
+		}
+	}
+	return nil
+}
+
+// Send implements Transport.
+func (t *Chan) Send(from, to int, m Msg) error {
+	if !t.started {
+		return fmt.Errorf("transport: chan not started")
+	}
+	if from == to {
+		return fmt.Errorf("transport: self-send on rank %d", from)
+	}
+	return t.links[from][to].send(m)
+}
+
+// Stats implements Transport.
+func (t *Chan) Stats() Stats { return t.stats.snapshot() }
+
+// Close implements Transport: it stops the links and waits for handler
+// dispatch to cease, so callers may tear handler state down on return.
+func (t *Chan) Close() error {
+	t.close.Do(func() { close(t.closed) })
+	t.linkWG.Wait()
+	return nil
+}
+
+var _ Transport = (*Chan)(nil)
