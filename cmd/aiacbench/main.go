@@ -9,9 +9,11 @@
 //	aiacbench -workers 8                      # full env×mode×grid sweep, sparse linear problem
 //	aiacbench -env pm2,mpi -grid adsl         # filter any axis
 //	aiacbench -problem chem -procs 8,12       # non-linear problem, two procs counts
+//	aiacbench -problem gmres,newton           # the block-GMRES and strip-Newton variants
 //	aiacbench -scenario flaky-adsl -grid adsl # grid-dynamics scenario + degradation table
 //	aiacbench -backend sim,chan,tcp           # add native wall-clock cells + calibration table
 //	aiacbench -backend tcp -timeout 30s       # native cells only, tighter runaway guard
+//	aiacbench -list -backend chan -problem chem  # print the enumerated cells, run nothing
 //	aiacbench -reps 3 -seed 42                # median/min over three jittered repetitions
 //	aiacbench -o BENCH_pr42.json              # choose the results file
 //	aiacbench -baseline BENCH_baseline.json   # print per-cell deltas vs a saved run
@@ -20,8 +22,11 @@
 // Native cells (backend chan or tcp) run the solve for real — goroutine
 // ranks over an in-process or TCP-loopback transport shaped like the
 // cell's grid (internal/backend) — serially after the simulated pool, so
-// their wall-clock numbers are taken on a quiet host. Wall times vary run
-// to run, so build -faildelta regression baselines from sim-only sweeps.
+// their wall-clock numbers are taken on a quiet host. Every problem runs
+// natively, and the network scenarios with a steady-state transport
+// analogue (flaky-adsl, lossy-wan) are legal native cells. Wall times vary
+// run to run, so build -faildelta regression baselines from sim-only
+// sweeps.
 //
 // Paper-table mode regenerates the evaluation section's tables and figures
 // verbatim (see internal/bench):
@@ -51,7 +56,7 @@ func main() {
 		envF      = flag.String("env", "", "environment filter (csv of mpi, pm2, madmpi, omniorb; empty = all)")
 		modeF     = flag.String("mode", "", "mode filter (csv of sync, async; empty = both)")
 		gridF     = flag.String("grid", "", "grid filter (csv of 3site, adsl, local, multiproto; empty = the paper's three measurement grids)")
-		problemF  = flag.String("problem", "", "problem filter (csv of linear, chem; empty = linear)")
+		problemF  = flag.String("problem", "", "problem filter (csv of linear, gmres, newton, chem; empty = linear)")
 		procsF    = flag.String("procs", "", "processor counts (csv; empty = 8)")
 		sizesF    = flag.String("n", "", "problem sizes (csv; empty = per-problem default)")
 		scenarioF = flag.String("scenario", "", "grid-dynamics scenario filter (csv of "+strings.Join(matrix.ScenarioNames, ", ")+"; empty = static)")
@@ -60,6 +65,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "cells simulated concurrently")
 		reps      = flag.Int("reps", 1, "repetitions per cell (median/min aggregation)")
 		seed      = flag.Int64("seed", 0, "network-jitter seed: repetition r draws from stream seed+r (0 = jitter off, reps are bit-identical)")
+		list      = flag.Bool("list", false, "print the enumerated matrix cells and exit without running them")
 		outFile   = flag.String("o", "BENCH_latest.json", "results file to write (empty = don't persist)")
 		baseline  = flag.String("baseline", "", "saved results file to diff this run against")
 		failDelta = flag.Float64("faildelta", 0, "with -baseline: exit non-zero if any shared cell's time drifts more than this many percent, or outcomes change (0 = report only)")
@@ -77,7 +83,7 @@ func main() {
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *table != 0 || *figure != 0 || *all {
-		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "backend", "timeout", "reps", "seed", "workers", "o", "baseline", "faildelta"} {
+		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "backend", "timeout", "reps", "seed", "workers", "list", "o", "baseline", "faildelta"} {
 			if explicit[name] {
 				fmt.Fprintf(os.Stderr, "-%s is a matrix-sweep flag; it has no effect with -table/-figure/-all\n", name)
 				os.Exit(2)
@@ -97,9 +103,18 @@ func main() {
 		os.Exit(2)
 	}
 	// A degradation measurement needs its static baseline: when only
-	// dynamic scenarios are selected, sweep the static counterparts too.
+	// dynamic scenarios are selected, sweep the static counterparts too
+	// (before -list, so the listing matches what the same flags sweep).
 	if addStaticIfMissing(&spec) {
-		fmt.Println("note: adding the static scenario so degradation columns have their baseline")
+		fmt.Fprintln(os.Stderr, "note: adding the static scenario so degradation columns have their baseline")
+	}
+	if *list {
+		cells := spec.Cells()
+		for _, c := range cells {
+			fmt.Println(c.Key())
+		}
+		fmt.Fprintf(os.Stderr, "%d cells (nothing run; drop -list to sweep them)\n", len(cells))
+		return
 	}
 	if *failDelta != 0 && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "-faildelta needs -baseline")
@@ -116,7 +131,7 @@ func main() {
 	}
 	cells := spec.Cells()
 	if len(cells) == 0 {
-		fmt.Fprintln(os.Stderr, "the filters select no runnable cells (note: async×mpi is unsupported, and native backends cover the linear problem under the static scenario)")
+		fmt.Fprintln(os.Stderr, "the filters select no runnable cells (note: async×mpi is unsupported, and native backends run the scenarios with a transport analogue: static, flaky-adsl, lossy-wan)")
 		os.Exit(2)
 	}
 	fmt.Printf("sweeping %d cells with %d workers, %d rep(s) per cell\n\n", len(cells), *workers, *reps)

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"aiac/internal/aiac"
@@ -50,11 +51,62 @@ func main() {
 		seed     = flag.Int64("seed", 0, "network-jitter seed, as in aiacbench (0 = jitter off)")
 		balanced = flag.Bool("balanced", false, "speed-proportional row blocks")
 		gantt    = flag.Bool("gantt", false, "print the execution-flow chart")
-		scenF    = flag.String("scenario", "static", "grid-dynamics scenario (one of: static, flaky-adsl, diurnal-load, node-churn, lossy-wan)")
+		scenF    = flag.String("scenario", "static", "grid-dynamics scenario (one of: static, flaky-adsl, diurnal-load, node-churn, lossy-wan; native backends run the first three)")
 		backendF = flag.String("backend", "sim", "execution backend: sim (discrete-event simulation), chan or tcp (native wall-clock run)")
 		timeout  = flag.Duration("timeout", matrix.DefaultNativeTimeout, "wall-clock guard of a native run: cancelled and reported as STALL beyond this")
+		list     = flag.Bool("list", false, "print the matrix cell key these flags select and exit without running (the key re-runs verbatim in aiacbench/aiactrace)")
 	)
 	flag.Parse()
+
+	if *list {
+		// Validate exactly like the run paths, so every printed key is
+		// one this repository can actually run.
+		modes, err := matrix.ParseModes(*mode)
+		if err != nil || len(modes) != 1 {
+			fmt.Fprintf(os.Stderr, "bad -mode %q: want async or sync\n", *mode)
+			os.Exit(2)
+		}
+		if _, err := matrix.ParseGrids(*gridName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := scenario.ByName(*scenF); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		env := *envName
+		if *backendF != "sim" {
+			if _, err := backend.NewTransport(*backendF, *procs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if !backend.NativeScenario(*scenF) {
+				fmt.Fprintf(os.Stderr, "scenario %q has no native analogue (native backends run: %s)\n",
+					*scenF, strings.Join(backend.NativeScenarioNames, ", "))
+				os.Exit(2)
+			}
+			env = matrix.NativeEnv
+		} else {
+			envs, err := matrix.ParseEnvs(*envName)
+			if err != nil || len(envs) != 1 {
+				if err == nil {
+					err = fmt.Errorf("-env takes a single environment")
+				}
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if !matrix.Supported(envs[0], modes[0]) {
+				fmt.Fprintf(os.Stderr, "%s does not support %s mode (mono-threaded MPI has no receive threads)\n", envs[0], modes[0])
+				os.Exit(2)
+			}
+		}
+		cell := matrix.Cell{
+			Env: env, Mode: modes[0], Grid: *gridName, Problem: "linear",
+			Procs: *procs, Size: *n, Scenario: *scenF, Backend: *backendF,
+		}
+		fmt.Println(cell.Key())
+		return
+	}
 
 	if *backendF != "sim" {
 		// A native run has no simulated middleware, jitter stream, or
@@ -67,11 +119,12 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		if *scenF != "static" {
-			fmt.Fprintln(os.Stderr, "native backends run the static scenario only")
+		if !backend.NativeScenario(*scenF) {
+			fmt.Fprintf(os.Stderr, "scenario %q has no native analogue (native backends run: %s)\n",
+				*scenF, strings.Join(backend.NativeScenarioNames, ", "))
 			os.Exit(2)
 		}
-		runNative(*backendF, *mode, *gridName, *procs, *n, *diags, *rho, *eps, *maxIters, *matseed, *timeout)
+		runNative(*backendF, *mode, *gridName, *scenF, *procs, *n, *diags, *rho, *eps, *maxIters, *matseed, *timeout)
 		return
 	}
 
@@ -158,7 +211,7 @@ func main() {
 
 // runNative performs one wall-clock solve on the named native transport
 // (internal/backend), the matrix's chan/tcp backend cells run standalone.
-func runNative(bk, mode, gridName string, procs, n, diags int, rho, eps float64, maxIters int, matseed int64, timeout time.Duration) {
+func runNative(bk, mode, gridName, scen string, procs, n, diags int, rho, eps float64, maxIters int, matseed int64, timeout time.Duration) {
 	modes, err := matrix.ParseModes(mode)
 	if err != nil || len(modes) != 1 {
 		fmt.Fprintf(os.Stderr, "bad -mode %q: want async or sync\n", mode)
@@ -169,13 +222,13 @@ func runNative(bk, mode, gridName string, procs, n, diags int, rho, eps float64,
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := backend.ApplyGridShaping(tr, gridName); err != nil {
+	if err := backend.ApplyScenarioShaping(tr, gridName, scen, 0); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	prob := problems.NewLinear(n, diags, rho, matseed)
-	fmt.Printf("solving n=%d (%d diagonals, rho<%.2f) natively on the %s-shaped %s transport, %s, %d procs\n",
-		n, diags, rho, gridName, bk, modes[0], procs)
+	fmt.Printf("solving n=%d (%d diagonals, rho<%.2f) natively on the %s-shaped %s transport, %s, %d procs, scenario %s\n",
+		n, diags, rho, gridName, bk, modes[0], procs, scen)
 	rep, err := backend.Run(prob, tr, backend.Config{
 		Mode: modes[0], Eps: eps, MaxIters: maxIters,
 		Timeout: timeout, StallAfter: timeout / 4,

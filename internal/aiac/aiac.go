@@ -30,6 +30,7 @@ package aiac
 
 import (
 	"aiac/internal/des"
+	"aiac/internal/protocol"
 	"aiac/internal/trace"
 )
 
@@ -67,27 +68,13 @@ type DataMsg struct {
 	Values []float64
 }
 
-// StateMsg reports a local-convergence change to the coordinator.
-//
-// The engine hardens the paper's detection with a two-phase local protocol:
-// a processor that reaches local convergence does not tell the coordinator
-// immediately — it first waits until it has received at least one *fresh*
-// message on every dependency channel (sent after it converged) while
-// remaining converged, and only then reports Converged=true ("confirmed").
-// Because the per-pair channels are FIFO, a confirmation guarantees no
-// older (staler) data is still in flight towards this processor, which
-// closes the classic premature-termination hazard of centralized AIAC
-// convergence detection. A residual bump at any point sends
-// Converged=false and restarts the phase machine.
-type StateMsg struct {
-	From      int
-	Converged bool
-	Seq       int
-	// MaxGap is the longest interval this processor observed between
-	// consecutive data arrivals on any dependency channel (diagnostic;
-	// it bounds the confirmation delay).
-	MaxGap des.Time
-}
+// StateMsg reports a local-convergence change to the coordinator. It is
+// the protocol core's message type verbatim (internal/protocol): the
+// two-phase confirmation it carries — converged, then confirmed once every
+// dependency channel delivered fresh data — is implemented there, shared
+// with the native backend. MaxGap is in protocol.Time nanoseconds, which
+// the engine maps one-to-one from virtual time.
+type StateMsg = protocol.StateMsg
 
 // Outgoing is a data block to transmit. Values ownership passes to the
 // transport (callers must snapshot).
@@ -211,20 +198,22 @@ type Config struct {
 	// Mode selects AIAC (Async) or SISC (Sync).
 	Mode Mode
 	// Eps is the local convergence threshold on the residual (Equ. 5).
+	// Default protocol.DefaultEps.
 	Eps float64
 	// PersistIters is the number of consecutive locally-converged
 	// iterations required before a processor reports local convergence
-	// (§4.3's guard against residual oscillation). Default 3.
+	// (§4.3's guard against residual oscillation). Default
+	// protocol.DefaultPersistIters.
 	PersistIters int
 	// MaxIters bounds the iterations of every processor (§4.3's guard
-	// against non-convergence). Default 100000.
+	// against non-convergence). Default protocol.DefaultMaxIters.
 	MaxIters int
 	// StopGrace is a short quiet window the coordinator waits after
 	// seeing every processor confirm local convergence (see StateMsg)
 	// before broadcasting stop; a retreat arriving in the window cancels
 	// the pending stop. With two-phase confirmation this is a cheap
 	// backstop against reordering, not the primary safety mechanism.
-	// Default 1ms of virtual time.
+	// Default protocol.DefaultGrace of virtual time.
 	StopGrace des.Time
 	// StateHeartbeat makes a processor that has confirmed local
 	// convergence re-send its state to the coordinator at this interval
@@ -234,7 +223,7 @@ type Config struct {
 	// broadcast itself), and without retransmission the centralized
 	// detection of §4.3 deadlocks. The coordinator re-broadcasts stop
 	// when a heartbeat arrives after it has already stopped. Default
-	// 500ms of virtual time.
+	// protocol.DefaultHeartbeat of virtual time.
 	StateHeartbeat des.Time
 	// Trace, when non-nil, records execution flow for Figures 1-2.
 	Trace *trace.Collector
@@ -244,22 +233,25 @@ type Config struct {
 	Dynamics Dynamics
 }
 
+// protocolParams resolves the protocol tunables — defaults live once, in
+// internal/protocol, shared with the native backend.
+func (c Config) protocolParams() protocol.Params {
+	return protocol.Params{
+		Eps:          c.Eps,
+		PersistIters: c.PersistIters,
+		MaxIters:     c.MaxIters,
+		Grace:        protocol.Time(c.StopGrace),
+		Heartbeat:    protocol.Time(c.StateHeartbeat),
+	}.WithDefaults()
+}
+
 func (c Config) withDefaults() Config {
-	if c.PersistIters <= 0 {
-		c.PersistIters = 3
-	}
-	if c.MaxIters <= 0 {
-		c.MaxIters = 100000
-	}
-	if c.Eps <= 0 {
-		c.Eps = 1e-8
-	}
-	if c.StopGrace <= 0 {
-		c.StopGrace = 1e6 // 1ms floor; see the field comment
-	}
-	if c.StateHeartbeat <= 0 {
-		c.StateHeartbeat = 500e6 // 500ms
-	}
+	pp := c.protocolParams()
+	c.Eps = pp.Eps
+	c.PersistIters = pp.PersistIters
+	c.MaxIters = pp.MaxIters
+	c.StopGrace = des.Time(pp.Grace)
+	c.StateHeartbeat = des.Time(pp.Heartbeat)
 	return c
 }
 
@@ -313,6 +305,17 @@ type Report struct {
 	// the crash). A converged run with TaintedRestarts > 0 carries at
 	// least one block that may be far from the fixed point.
 	TaintedRestarts int
+	// Heartbeats counts confirmed-state re-sends across all ranks,
+	// StopRebroadcasts the coordinator's post-stop stop repeats, and
+	// ReconfirmRounds the post-state-loss re-confirmations — the protocol
+	// observability counters (protocol.Counters), persisted in BENCH
+	// files so a protocol regression is visible even when timing is not.
+	Heartbeats       int
+	StopRebroadcasts int
+	ReconfirmRounds  int
+	// Protocol records the resolved protocol constants that produced this
+	// run (grace window, heartbeat interval, persistence threshold).
+	Protocol protocol.Params
 }
 
 // TotalIters sums ItersPerRank.

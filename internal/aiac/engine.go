@@ -6,8 +6,18 @@ import (
 
 	"aiac/internal/cluster"
 	"aiac/internal/des"
+	"aiac/internal/protocol"
 	"aiac/internal/trace"
 )
+
+// This file is the discrete-event driver of the AIAC protocol core
+// (internal/protocol): it owns everything runtime-specific — the simulated
+// middleware endpoints, virtual-time CPU charging, the iterate vectors and
+// arrival bookkeeping, crash parking on the DES — and delegates every
+// convergence decision to the shared protocol.Rank and protocol.Coordinator
+// machines. The native backend (internal/backend) drives the very same
+// machines on wall clocks; neither holds a protocol implementation of its
+// own.
 
 // Run executes one solve of prob over the grid using the environment's
 // communicators and returns the report. It spawns one iterating process per
@@ -20,6 +30,7 @@ import (
 // step synchronisation.
 func Run(grid *cluster.Grid, env Env, prob Problem, cfg Config) *Report {
 	cfg = cfg.withDefaults()
+	pp := cfg.protocolParams()
 	nranks := grid.Size()
 	if env.Comm(0).Size() != nranks {
 		panic(fmt.Sprintf("aiac: env size %d != grid size %d", env.Comm(0).Size(), nranks))
@@ -34,22 +45,23 @@ func Run(grid *cluster.Grid, env Env, prob Problem, cfg Config) *Report {
 	e := &run{
 		grid: grid, env: env, prob: prob, cfg: cfg,
 		bounds: bounds, plan: plan, x0: x0,
-		xs:            make([][]float64, nranks),
-		iters:         make([]int, nranks),
-		finish:        make([]des.Time, nranks),
-		done:          make([]bool, nranks),
-		heard:         make([]map[int]bool, nranks),
-		lastArrival:   make([]map[int]des.Time, nranks),
-		dirty:         make([]bool, nranks),
-		maxGap:        make([]des.Time, nranks),
-		capped:        make([]bool, nranks),
-		epochs:        make([]int, nranks),
-		needReconfirm: make([]bool, nranks),
-		coord:         newCoordinator(nranks),
+		xs:          make([][]float64, nranks),
+		iters:       make([]int, nranks),
+		finish:      make([]des.Time, nranks),
+		done:        make([]bool, nranks),
+		heard:       make([]map[int]bool, nranks),
+		lastArrival: make([]map[int]des.Time, nranks),
+		dirty:       make([]bool, nranks),
+		maxGap:      make([]des.Time, nranks),
+		capped:      make([]bool, nranks),
+		epochs:      make([]int, nranks),
+		ranks:       make([]*protocol.Rank, nranks),
 	}
+	e.coord = protocol.NewCoordinator(nranks, pp, (*desCoordRuntime)(e))
 	for r := 0; r < nranks; r++ {
 		e.xs[r] = make([]float64, len(x0))
 		copy(e.xs[r], x0)
+		e.ranks[r] = protocol.NewRank(r, pp)
 	}
 
 	sim := grid.Sim
@@ -76,20 +88,24 @@ func Run(grid *cluster.Grid, env Env, prob Problem, cfg Config) *Report {
 		end = sim.Now()
 	}
 	rep := &Report{
-		Elapsed:      end - start,
-		Start:        start,
-		End:          end,
-		X:            make([]float64, len(x0)),
-		ItersPerRank: e.iters,
-		Reason:       StopIterCap,
-		StateMsgs:    e.coord.msgs,
-		Stalled:      stalled,
-		Restarts:     e.restarts,
+		Elapsed:          end - start,
+		Start:            start,
+		End:              end,
+		X:                make([]float64, len(x0)),
+		ItersPerRank:     e.iters,
+		Reason:           StopIterCap,
+		StateMsgs:        e.coord.Msgs(),
+		StopRebroadcasts: e.coord.Rebroadcasts(),
+		Stalled:          stalled,
+		Restarts:         e.restarts,
+		Protocol:         pp,
 	}
-	for _, nc := range e.needReconfirm {
-		if nc {
+	for _, rk := range e.ranks {
+		if rk.NeedReconfirm() {
 			rep.TaintedRestarts++
 		}
+		rep.Heartbeats += rk.Heartbeats()
+		rep.ReconfirmRounds += rk.Reconfirms()
 	}
 	anyCapped := false
 	for _, c := range e.capped {
@@ -98,7 +114,7 @@ func Run(grid *cluster.Grid, env Env, prob Problem, cfg Config) *Report {
 	switch {
 	case stalled:
 		rep.Reason = StopStalled
-	case e.coord.stopped && !anyCapped:
+	case e.coord.Stopped() && !anyCapped:
 		rep.Reason = StopConverged
 	}
 	if cfg.Dynamics != nil && rep.Reason == StopConverged {
@@ -132,11 +148,30 @@ type run struct {
 	capped      []bool
 	epochs      []int // crash epoch last seen per rank (Config.Dynamics)
 	restarts    int
-	// needReconfirm[r] is set on a post-crash state loss and cleared when
-	// the rank re-confirms local convergence; a rank still flagged when
-	// the stop arrives finished with an unvalidated block.
-	needReconfirm []bool
-	coord         *coordinator
+
+	// The protocol machines: one confirmation state machine per rank, one
+	// coordinator hosted on rank 0. coordProc is the middleware thread
+	// currently delivering a state message — the process the coordinator's
+	// stop (re)broadcast rides on, nil in scheduler context.
+	ranks     []*protocol.Rank
+	coord     *protocol.Coordinator
+	coordProc *des.Proc
+}
+
+// desCoordRuntime adapts the DES to protocol.CoordinatorRuntime: grace
+// timers are simulator events, and stop broadcasts go through rank 0's
+// middleware endpoint on whichever thread delivered the triggering message.
+type desCoordRuntime run
+
+func (rt *desCoordRuntime) AfterGrace(f func()) (cancel func()) {
+	rt.grid.Sim.After(des.Time(rt.cfg.StopGrace), f)
+	// DES events cannot be withdrawn; the callback re-checks the
+	// coordinator's generation, so firing late is harmless.
+	return func() {}
+}
+
+func (rt *desCoordRuntime) BroadcastStop() {
+	rt.env.Comm(0).BroadcastStop(rt.coordProc)
 }
 
 // crashed reports whether rank r's node crashed since the engine last
@@ -145,20 +180,17 @@ func (e *run) crashed(r int) bool {
 	return e.cfg.Dynamics != nil && e.cfg.Dynamics.Epoch(r) != e.epochs[r]
 }
 
-// recoverRank implements a restart after a crash: the rank's process parks
-// until the node is back up, then loses its state — iterate vector back to
-// the initial guess (own block *and* ghost values), dependency channels
-// unheard, arrival bookkeeping cleared — so the convergence detector must
-// re-confirm everything it knew about this rank. It also marks the rank as
-// needing re-confirmation: if the stop decision races with the crash (the
-// coordinator collected this rank's confirmation, stopped, and the rank
-// then lost its state before re-validating it), the run's convergence
-// claim no longer covers this rank's block — see Report.TaintedRestarts.
+// recoverRank implements the driver side of a restart after a crash: the
+// rank's process parks until the node is back up, then loses its state —
+// iterate vector back to the initial guess (own block *and* ghost values),
+// dependency channels unheard, arrival bookkeeping cleared. The protocol
+// side — retreat if the coordinator held our confirmation, and the
+// needReconfirm debt behind Report.TaintedRestarts — is Rank.StateLost,
+// which the iteration loops invoke right after this.
 func (e *run) recoverRank(p *des.Proc, r int) {
 	e.cfg.Dynamics.WaitUp(p, r)
 	e.epochs[r] = e.cfg.Dynamics.Epoch(r)
 	e.restarts++
-	e.needReconfirm[r] = true
 	copy(e.xs[r], e.x0)
 	for k := range e.heard[r] {
 		delete(e.heard[r], k)
@@ -194,33 +226,11 @@ func (e *run) runRank(p *des.Proc, r int) {
 		e.dirty[r] = true
 	})
 	if r == 0 {
-		e.coord.reset()
+		e.coord.Reset()
 		comm.SetStateSink(func(tp *des.Proc, st StateMsg) {
-			if e.coord.stopped {
-				// A state message after the stop means its sender missed
-				// the broadcast (a partition swallowed it): repeat the
-				// stop rather than letting that rank run to its cap.
-				comm.BroadcastStop(tp)
-				return
-			}
-			if st.MaxGap > e.coord.maxGap {
-				e.coord.maxGap = st.MaxGap
-			}
-			switch e.coord.onState(st) {
-			case coordArm:
-				// Every processor has *confirmed* local convergence
-				// (fresh data on all channels, still converged). A
-				// short quiet window guards against reordering, then
-				// stop.
-				gen := e.coord.gen
-				e.grid.Sim.After(e.cfg.StopGrace, func() {
-					if e.coord.gen == gen && e.coord.allConverged() && !e.coord.stopped {
-						e.coord.stopped = true
-						comm.BroadcastStop(nil)
-					}
-				})
-			case coordDisarm, coordNone:
-			}
+			e.coordProc = tp
+			e.coord.OnState(st)
+			e.coordProc = nil
 		})
 	}
 
@@ -248,16 +258,23 @@ type cpuIface interface {
 	Compute(p *des.Proc, flops float64)
 }
 
-// runAsync is the AIAC iteration loop of §4.3.
+// runAsync is the AIAC iteration loop of §4.3: compute with whatever
+// dependency data is available, send asynchronously with the skip policy,
+// and feed the completed iteration to the rank's confirmation machine.
 func (e *run) runAsync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64) {
 	cfg := e.cfg
-	streak, seq := 0, 0
+	rk := e.ranks[r]
 	stop := comm.Stop()
 	defer func() {
 		if !stop.IsOpen() && e.iters[r] >= cfg.MaxIters {
 			e.capped[r] = true
 		}
 	}()
+	// The freshness gate of the two-phase confirmation, evaluated lazily
+	// by the machine (only while it awaits confirmation).
+	fresh := func(since protocol.Time) bool {
+		return e.allChannelsFreshSince(r, des.Time(since))
+	}
 	// Host-side memoisation: a processor that has reached its local fixed
 	// point (residual far below eps) and has received no new dependency
 	// data since its last update would recompute values identical to
@@ -267,12 +284,6 @@ func (e *run) runAsync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64)
 	// above the eps scale and makes paper-scale benchmarks tractable.
 	const skipFactor = 1e-2
 	var lastRes, lastFlops float64
-	// Two-phase convergence confirmation state (see StateMsg): phase 0 =
-	// not locally converged, 1 = converged but unconfirmed, 2 =
-	// confirmed to the coordinator.
-	phase := 0
-	var convergedAt des.Time
-	var lastStateAt des.Time
 	e.dirty[r] = true
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		if stop.IsOpen() {
@@ -283,11 +294,9 @@ func (e *run) runAsync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64)
 			// restart, lose state, and retreat if the coordinator had our
 			// convergence confirmation.
 			e.recoverRank(p, r)
-			if phase == 2 {
-				seq++
-				comm.SendState(p, StateMsg{From: r, Converged: false, Seq: seq, MaxGap: e.maxGap[r]})
+			if st, ok := rk.StateLost(protocol.Time(e.maxGap[r])); ok {
+				comm.SendState(p, st)
 			}
-			streak, phase = 0, 0
 			lastRes, lastFlops = 0, 0
 			if stop.IsOpen() {
 				break
@@ -317,45 +326,11 @@ func (e *run) runAsync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64)
 			})
 		}
 
-		// Local convergence bookkeeping: persistence, then two-phase
-		// confirmation. A processor does not enter phase 1 before it
-		// has heard from every dependency channel at least once —
-		// iterating purely on initial ghost values is not convergence.
-		if res < cfg.Eps && !math.IsNaN(res) {
-			streak++
-		} else {
-			streak = 0
-		}
-		conv := streak >= cfg.PersistIters && len(e.heard[r]) == e.plan.RecvCount[r]
-		switch {
-		case !conv:
-			if phase == 2 {
-				// Retreat: tell the coordinator we are no longer
-				// converged.
-				seq++
-				comm.SendState(p, StateMsg{From: r, Converged: false, Seq: seq, MaxGap: e.maxGap[r]})
-				lastStateAt = p.Now()
-			}
-			phase = 0
-		case phase == 0:
-			phase = 1
-			convergedAt = p.Now()
-		case phase == 1 && e.allChannelsFreshSince(r, convergedAt):
-			// Confirmed: every channel has delivered data sent after
-			// we converged and the residual stayed below eps.
-			phase = 2
-			e.needReconfirm[r] = false
-			seq++
-			comm.SendState(p, StateMsg{From: r, Converged: true, Seq: seq, MaxGap: e.maxGap[r]})
-			lastStateAt = p.Now()
-		case phase == 2 && p.Now()-lastStateAt >= cfg.StateHeartbeat:
-			// Heartbeat (see Config.StateHeartbeat): re-announce the
-			// confirmation in case a perturbation swallowed it — or
-			// swallowed the coordinator's stop broadcast, which the
-			// coordinator repeats on hearing a post-stop heartbeat.
-			seq++
-			comm.SendState(p, StateMsg{From: r, Converged: true, Seq: seq, MaxGap: e.maxGap[r]})
-			lastStateAt = p.Now()
+		// Local convergence is the protocol machine's call: persistence,
+		// then two-phase confirmation, with heartbeats once confirmed.
+		heardAll := len(e.heard[r]) == e.plan.RecvCount[r]
+		if st, ok := rk.Step(protocol.Time(p.Now()), res, heardAll, fresh, protocol.Time(e.maxGap[r])); ok {
+			comm.SendState(p, st)
 		}
 	}
 }
@@ -382,6 +357,7 @@ func (e *run) allChannelsFreshSince(r int, t des.Time) bool {
 // residual reduction — all processors in lockstep.
 func (e *run) runSync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64) {
 	cfg := e.cfg
+	rk := e.ranks[r]
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		if e.crashed(r) {
 			// Restart with state loss. The lockstep is already broken —
@@ -389,6 +365,7 @@ func (e *run) runSync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64) 
 			// exchange below typically stalls; the stall is the measured
 			// outcome, not an error (SISC has no recovery protocol).
 			e.recoverRank(p, r)
+			rk.StateLost(0) // flag the unvalidated block; no coordinator in sync
 		}
 		t0 := p.Now()
 		res, flops := e.prob.Update(r, e.bounds, x)
@@ -411,69 +388,9 @@ func (e *run) runSync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64) 
 		if global < cfg.Eps {
 			// The global reduction just validated every block, including
 			// any restarted one: the state loss has been recomputed away.
-			e.needReconfirm[r] = false
-			e.coord.stopped = true
+			rk.Validate()
+			e.coord.MarkStopped()
 			break
 		}
 	}
-}
-
-// coordAction is what the coordinator wants done after a state message.
-type coordAction int
-
-const (
-	coordNone coordAction = iota
-	// coordArm: all processors just became locally converged; arm the
-	// delayed stop.
-	coordArm
-	// coordDisarm: a processor retreated; cancel any pending stop.
-	coordDisarm
-)
-
-// coordinator implements the centralized global convergence detection of
-// §4.3 on rank 0, hardened with a cancellation generation for the grace
-// window.
-type coordinator struct {
-	n       int
-	conv    []bool
-	count   int
-	msgs    int
-	stopped bool
-	gen     int      // bumped on every retreat to invalidate pending stops
-	maxGap  des.Time // largest data inter-arrival gap reported by any rank
-}
-
-func newCoordinator(n int) *coordinator {
-	return &coordinator{n: n, conv: make([]bool, n)}
-}
-
-func (c *coordinator) reset() {
-	for i := range c.conv {
-		c.conv[i] = false
-	}
-	c.count = 0
-	c.stopped = false
-	c.gen++
-	c.maxGap = 0
-}
-
-func (c *coordinator) allConverged() bool { return c.count == c.n }
-
-// onState folds one state message and returns the action to take.
-func (c *coordinator) onState(st StateMsg) coordAction {
-	c.msgs++
-	if c.conv[st.From] == st.Converged {
-		return coordNone // duplicate
-	}
-	c.conv[st.From] = st.Converged
-	if st.Converged {
-		c.count++
-		if c.count == c.n && !c.stopped {
-			return coordArm
-		}
-		return coordNone
-	}
-	c.count--
-	c.gen++
-	return coordDisarm
 }

@@ -1,8 +1,9 @@
 // Package backend runs AIAC solves natively — goroutine ranks exchanging
 // messages over an internal/transport wire in wall-clock time — as a full
 // peer of the simulated stack (internal/aiac on internal/des): both Async
-// and Sync modes, any aiac.Problem, and the same hardened two-phase
-// convergence protocol as the engine.
+// and Sync modes, any aiac.Problem, and the *same* hardened convergence
+// protocol, because both drive the shared state machines of
+// internal/protocol rather than carrying an implementation of their own.
 //
 // The paper's §6 lists what a programming environment needs for efficient
 // AIAC implementations: blocking point-to-point communication, a
@@ -15,12 +16,17 @@
 // data under a per-rank mutex, and the Go scheduler as the fair
 // user-level thread package.
 //
-// Where the simulator answers "how do the middlewares compare on a grid I
-// can specify exactly?", this backend answers "does the protocol hold up
-// on real concurrency, and how fast is it on this hardware?" — with
-// wall-clock guards (Config.Timeout, Config.StallAfter) in place of the
-// simulator's drained-event-queue stall detection, because a deadlocked
-// native run would otherwise hang forever rather than stopping the clock.
+// This file is the wall-clock driver of the protocol core: it owns
+// everything runtime-specific — transports, mutexes, sender goroutines,
+// wall-clock timers and watchdogs — and delegates every convergence
+// decision to protocol.Rank and protocol.Coordinator. Where the simulator
+// answers "how do the middlewares compare on a grid I can specify
+// exactly?", this backend answers "does the protocol hold up on real
+// concurrency, and how fast is it on this hardware?" — with wall-clock
+// guards (Config.Timeout, Config.StallAfter on a protocol.StallGuard) in
+// place of the simulator's drained-event-queue stall detection, because a
+// deadlocked native run would otherwise hang forever rather than stopping
+// the clock.
 package backend
 
 import (
@@ -31,28 +37,31 @@ import (
 	"time"
 
 	"aiac/internal/aiac"
+	"aiac/internal/protocol"
 	"aiac/internal/transport"
 )
 
-// Config tunes a native solve.
+// Config tunes a native solve. The protocol tunables (Eps, PersistIters,
+// MaxIters, Grace, Heartbeat) default to the shared constants of
+// internal/protocol — the same values the simulated engine resolves to —
+// so the two backends measure one protocol, not two configurations.
 type Config struct {
 	// Mode selects AIAC (Async) or SISC (Sync).
 	Mode aiac.Mode
 	// Eps is the local convergence threshold on the residual.
 	Eps float64
 	// PersistIters is the consecutive locally-converged iterations
-	// required before a rank starts the two-phase confirmation. Default 3.
+	// required before a rank starts the two-phase confirmation.
 	PersistIters int
-	// MaxIters bounds each rank's iterations. Default 1e6.
+	// MaxIters bounds each rank's iterations.
 	MaxIters int
 	// Grace is the coordinator's quiet window between seeing every rank
-	// confirmed and broadcasting stop (the wall-clock analogue of the
-	// engine's StopGrace). Default 500µs.
+	// confirmed and broadcasting stop (protocol.Params.Grace on the wall
+	// clock).
 	Grace time.Duration
 	// Heartbeat makes a confirmed rank re-send its state at this interval
 	// until the stop arrives, and the coordinator re-answer post-stop
-	// heartbeats with a fresh stop — the engine's StateHeartbeat. Default
-	// 50ms.
+	// heartbeats with a fresh stop (protocol.Params.Heartbeat).
 	Heartbeat time.Duration
 	// Timeout aborts the solve after this much wall time and reports it
 	// as stalled — the guard that keeps a runaway native cell from
@@ -65,22 +74,25 @@ type Config struct {
 	StallAfter time.Duration
 }
 
+// protocolParams resolves the protocol tunables against the shared
+// defaults of internal/protocol.
+func (c Config) protocolParams() protocol.Params {
+	return protocol.Params{
+		Eps:          c.Eps,
+		PersistIters: c.PersistIters,
+		MaxIters:     c.MaxIters,
+		Grace:        protocol.Time(c.Grace),
+		Heartbeat:    protocol.Time(c.Heartbeat),
+	}.WithDefaults()
+}
+
 func (c Config) withDefaults() Config {
-	if c.Eps <= 0 {
-		c.Eps = 1e-8
-	}
-	if c.PersistIters <= 0 {
-		c.PersistIters = 3
-	}
-	if c.MaxIters <= 0 {
-		c.MaxIters = 1000000
-	}
-	if c.Grace <= 0 {
-		c.Grace = 500 * time.Microsecond
-	}
-	if c.Heartbeat <= 0 {
-		c.Heartbeat = 50 * time.Millisecond
-	}
+	pp := c.protocolParams()
+	c.Eps = pp.Eps
+	c.PersistIters = pp.PersistIters
+	c.MaxIters = pp.MaxIters
+	c.Grace = time.Duration(pp.Grace)
+	c.Heartbeat = time.Duration(pp.Heartbeat)
 	return c
 }
 
@@ -100,6 +112,14 @@ type Report struct {
 	// StateMsgs counts convergence-state messages the coordinator
 	// received (async mode).
 	StateMsgs int
+	// Heartbeats, StopRebroadcasts and ReconfirmRounds are the protocol
+	// observability counters (protocol.Counters), mirrored from the
+	// engine's report so BENCH files carry them for every backend.
+	Heartbeats       int
+	StopRebroadcasts int
+	ReconfirmRounds  int
+	// Protocol records the resolved protocol constants of the run.
+	Protocol protocol.Params
 	// Net is the transport's traffic snapshot.
 	Net transport.Stats
 }
@@ -121,6 +141,7 @@ func (r *Report) TotalIters() int {
 // registers the handlers, starts it, and closes it on return.
 func Run(prob aiac.Problem, tr transport.Transport, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	pp := cfg.protocolParams()
 	n := tr.Size()
 	bounds := prob.PartitionBounds(n)
 	plan := aiac.BuildSendPlan(prob, bounds)
@@ -134,7 +155,7 @@ func Run(prob aiac.Problem, tr transport.Transport, cfg Config) (*Report, error)
 		bounds: bounds, plan: plan,
 		mus:         make([]sync.Mutex, n),
 		xs:          make([][]float64, n),
-		lastArrival: make([]map[int32]time.Time, n),
+		lastArrival: make([]map[int32]protocol.Time, n),
 		recvTotal:   make([]atomic.Int64, n),
 		notify:      make([]chan struct{}, n),
 		stop:        make([]chan struct{}, n),
@@ -143,17 +164,20 @@ func Run(prob aiac.Problem, tr transport.Transport, cfg Config) (*Report, error)
 		capped:      make([]bool, n),
 		finish:      make([]time.Time, n),
 		abort:       make(chan struct{}),
-		coord:       &coordinator{n: n, conv: make([]bool, n)},
+		ranks:       make([]*protocol.Rank, n),
 		reduce:      &reducer{rounds: make(map[int32]*reduceRound)},
 		results:     make(map[int32]float64),
 	}
+	s.coord = protocol.NewCoordinator(n, pp, (*wallCoordRuntime)(s))
 	for r := 0; r < n; r++ {
 		s.xs[r] = make([]float64, len(x0))
 		copy(s.xs[r], x0)
-		s.lastArrival[r] = make(map[int32]time.Time, plan.RecvCount[r])
+		s.lastArrival[r] = make(map[int32]protocol.Time, plan.RecvCount[r])
 		s.notify[r] = make(chan struct{}, 1)
 		s.stop[r] = make(chan struct{})
+		s.ranks[r] = protocol.NewRank(r, pp)
 	}
+	s.epoch = time.Now() // the protocol.Time origin; set before any handler runs
 	for r := 0; r < n; r++ {
 		tr.SetHandler(r, s.handler(r))
 	}
@@ -176,9 +200,7 @@ func Run(prob aiac.Problem, tr transport.Transport, cfg Config) (*Report, error)
 	}
 	wg.Wait()
 	s.abortOnce.Do(func() { close(s.abort) }) // retire the watchdog
-	if t := s.coord.graceTimer(); t != nil {
-		t.Stop()
-	}
+	s.coord.Close()                           // withdraw a pending grace timer
 	// Tear the wire down (Close waits for the receive/link threads, so no
 	// handler runs past this point), refuse new helper goroutines, and
 	// drain the in-flight ones before touching shared state.
@@ -199,21 +221,26 @@ func Run(prob aiac.Problem, tr transport.Transport, cfg Config) (*Report, error)
 		start = at
 	}
 	rep := &Report{
-		Wall:         end.Sub(start),
-		X:            make([]float64, len(x0)),
-		ItersPerRank: s.iters,
-		StateMsgs:    s.coord.msgCount(),
-		Net:          tr.Stats(),
+		Wall:             end.Sub(start),
+		X:                make([]float64, len(x0)),
+		ItersPerRank:     s.iters,
+		StateMsgs:        s.coord.Msgs(),
+		StopRebroadcasts: s.coord.Rebroadcasts(),
+		Protocol:         pp,
+		Net:              tr.Stats(),
 	}
 	anyCapped := false
 	for _, c := range s.capped {
 		anyCapped = anyCapped || c
 	}
+	for _, rk := range s.ranks {
+		rep.Heartbeats += rk.Heartbeats()
+		rep.ReconfirmRounds += rk.Reconfirms()
+	}
 	switch {
 	case s.stalled.Load():
 		rep.Reason = aiac.StopStalled
-	case (cfg.Mode == aiac.Async && s.coord.isStopped() && !anyCapped) ||
-		(cfg.Mode == aiac.Sync && s.syncConverged.Load()):
+	case s.coord.Stopped() && !anyCapped:
 		rep.Reason = aiac.StopConverged
 	default:
 		rep.Reason = aiac.StopIterCap
@@ -238,9 +265,12 @@ type solver struct {
 	// Per-rank iterate state: the transport's receive threads write x and
 	// the arrival bookkeeping under the rank's mutex; the iterate loop
 	// reads and updates under the same mutex — the paper's "mutex system".
+	// Arrival instants are protocol.Time offsets from epoch, the same
+	// clock the rank machines run on.
 	mus         []sync.Mutex
 	xs          [][]float64
-	lastArrival []map[int32]time.Time
+	lastArrival []map[int32]protocol.Time
+	epoch       time.Time
 
 	// Sync-mode accounting: total data messages received per rank, with a
 	// 1-buffered wakeup channel for the exchange/reduction waits.
@@ -253,7 +283,7 @@ type solver struct {
 	stopOnce []sync.Once
 
 	iters     []int
-	itersDone atomic.Int64 // watchdog progress counter
+	stall     protocol.StallGuard // watchdog progress counter
 	capped    []bool
 	finish    []time.Time
 	spawnedAt time.Time
@@ -263,11 +293,14 @@ type solver struct {
 	abortOnce sync.Once
 	stalled   atomic.Bool
 
-	syncConverged atomic.Bool
-	coord         *coordinator
-	reduce        *reducer
-	resMu         sync.Mutex
-	results       map[int32]float64 // reduction round -> result, recent rounds only
+	// The protocol machines: one confirmation state machine per rank, the
+	// coordinator hosted on rank 0.
+	ranks []*protocol.Rank
+	coord *protocol.Coordinator
+
+	reduce  *reducer
+	resMu   sync.Mutex
+	results map[int32]float64 // reduction round -> result, recent rounds only
 
 	// Helper goroutines (per-key senders, broadcasts) drain through bg
 	// before Run returns; spawn guards the Add against Run's bg.Wait —
@@ -276,6 +309,22 @@ type solver struct {
 	bgClosed bool
 	bg       sync.WaitGroup
 }
+
+// now is the solver's protocol clock: nanoseconds since epoch.
+func (s *solver) now() protocol.Time { return protocol.Time(time.Since(s.epoch)) }
+
+// wallCoordRuntime adapts the wall clock to protocol.CoordinatorRuntime:
+// grace timers are time.AfterFunc (cancellable, because a wall-clock timer
+// outlives the run), and stop broadcasts ride helper goroutines since each
+// transport send blocks for the link's shaped delay.
+type wallCoordRuntime solver
+
+func (rt *wallCoordRuntime) AfterGrace(f func()) (cancel func()) {
+	t := time.AfterFunc(rt.cfg.Grace, f)
+	return func() { t.Stop() }
+}
+
+func (rt *wallCoordRuntime) BroadcastStop() { (*solver)(rt).broadcastStop() }
 
 // spawn runs f on a tracked helper goroutine; once Run has begun draining
 // the helpers it becomes a no-op (the transport is closed, so the send f
@@ -303,8 +352,8 @@ func (s *solver) trip() {
 	s.tr.Close()
 }
 
-// watchdog enforces the wall-clock guards: a hard timeout, and a
-// no-iteration-progress stall detector.
+// watchdog enforces the wall-clock guards: a hard timeout, and the
+// protocol's no-progress stall detector polled at StallAfter.
 func (s *solver) watchdog() {
 	var deadline <-chan time.Time
 	if s.cfg.Timeout > 0 {
@@ -318,7 +367,7 @@ func (s *solver) watchdog() {
 	}
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
-	last := s.itersDone.Load()
+	s.stall.Stalled() // seed the baseline at watchdog start
 	for {
 		select {
 		case <-s.abort:
@@ -330,12 +379,10 @@ func (s *solver) watchdog() {
 			if s.cfg.StallAfter <= 0 {
 				continue
 			}
-			now := s.itersDone.Load()
-			if now == last {
+			if s.stall.Stalled() {
 				s.trip()
 				return
 			}
-			last = now
 		}
 	}
 }
@@ -348,13 +395,15 @@ func (s *solver) handler(r int) transport.Handler {
 		case transport.MsgData:
 			s.mus[r].Lock()
 			copy(s.xs[r][m.Lo:int(m.Lo)+len(m.Values)], m.Values)
-			s.lastArrival[r][m.Key] = time.Now()
+			s.lastArrival[r][m.Key] = s.now()
 			s.mus[r].Unlock()
 			s.recvTotal[r].Add(1)
 			s.wake(r)
 		case transport.MsgState:
 			if r == 0 {
-				s.onState(m)
+				s.coord.OnState(protocol.StateMsg{
+					From: int(m.From), Converged: m.Flag, Seq: int(m.Seq),
+				})
 			}
 		case transport.MsgStop:
 			s.stopRank(r)
@@ -424,9 +473,9 @@ func (s *solver) sendReliable(from, to int, m transport.Msg) {
 	_ = s.tr.Send(from, to, m)
 }
 
-// broadcastStop opens every rank's stop gate. Called on the coordinator's
-// dispatch thread; the sends run on helper goroutines because each one
-// blocks for the link's shaped delay.
+// broadcastStop opens every rank's stop gate. Invoked by the coordinator's
+// runtime (grace-timer goroutine or a receive thread); the sends run on
+// helper goroutines because each one blocks for the link's shaped delay.
 func (s *solver) broadcastStop() {
 	s.stopRank(0)
 	for to := 1; to < s.n; to++ {
@@ -439,10 +488,12 @@ func (s *solver) broadcastStop() {
 
 // --- async mode ---
 
-// runAsync is the AIAC loop: the engine's two-phase protocol verbatim,
-// with transport sender goroutines in place of middleware send threads.
+// runAsync is the AIAC loop: the shared protocol machine fed from real
+// concurrency, with transport sender goroutines in place of middleware
+// send threads.
 func (s *solver) runAsync(r int) {
 	cfg := s.cfg
+	rk := s.ranks[r]
 	targets := s.plan.Targets[r]
 	// One unbuffered channel + sender goroutine per send-plan channel:
 	// a try-send that finds the sender busy skips — the previous send of
@@ -493,18 +544,25 @@ func (s *solver) runAsync(r int) {
 		stateWG.Wait()
 	}()
 
-	sendState := func(seq int, converged bool) {
-		m := transport.Msg{Type: transport.MsgState, From: int32(r), Seq: int32(seq), Flag: converged}
+	sendState := func(st protocol.StateMsg) {
 		if r == 0 {
-			s.onState(m) // the coordinator is local to rank 0
+			s.coord.OnState(st) // the coordinator is local to rank 0
 			return
 		}
-		states <- m
+		states <- transport.Msg{
+			Type: transport.MsgState, From: int32(r), Seq: int32(st.Seq), Flag: st.Converged,
+		}
+	}
+	// The freshness gate of the two-phase confirmation: consulted by the
+	// machine only while it awaits confirmation, under the rank's mutex
+	// because receive threads write the arrival map concurrently.
+	fresh := func(since protocol.Time) bool {
+		s.mus[r].Lock()
+		defer s.mus[r].Unlock()
+		return s.allFresherThan(r, since)
 	}
 
 	x := s.xs[r]
-	streak, seq, phase := 0, 0, 0
-	var convergedAt, lastStateAt time.Time
 	// Double buffering per send channel: `spare` is written each
 	// iteration; a successful hand-over swaps it with `inflight`, whose
 	// previous buffer the sender goroutine has already released (its Send
@@ -528,10 +586,9 @@ func (s *solver) runAsync(r int) {
 			copy(spare[i], x[tg.Seg.Lo:tg.Seg.Hi])
 		}
 		heardAll := len(s.lastArrival[r]) == s.plan.RecvCount[r]
-		fresh := s.allFresherThan(r, convergedAt)
 		s.mus[r].Unlock()
 		s.iters[r]++
-		s.itersDone.Add(1)
+		s.stall.Tick()
 
 		for i, tg := range targets {
 			select {
@@ -544,34 +601,10 @@ func (s *solver) runAsync(r int) {
 			}
 		}
 
-		if res < cfg.Eps && res == res /* not NaN */ {
-			streak++
-		} else {
-			streak = 0
-		}
-		conv := streak >= cfg.PersistIters && heardAll
-		switch {
-		case !conv:
-			if phase == 2 {
-				seq++
-				sendState(seq, false)
-				lastStateAt = time.Now()
-			}
-			phase = 0
-		case phase == 0:
-			phase = 1
-			convergedAt = time.Now()
-		case phase == 1 && fresh:
-			// Confirmed: every dependency channel has delivered data sent
-			// after we converged and the residual stayed below eps.
-			phase = 2
-			seq++
-			sendState(seq, true)
-			lastStateAt = time.Now()
-		case phase == 2 && time.Since(lastStateAt) >= cfg.Heartbeat:
-			seq++
-			sendState(seq, true)
-			lastStateAt = time.Now()
+		// Local convergence is the protocol machine's call: persistence,
+		// then two-phase confirmation, with heartbeats once confirmed.
+		if st, ok := rk.Step(s.now(), res, heardAll, fresh, 0); ok {
+			sendState(st)
 		}
 		// Yield so receive threads, senders, and the coordinator get
 		// scheduled promptly even with GOMAXPROCS < ranks — the
@@ -586,12 +619,12 @@ func (s *solver) runAsync(r int) {
 
 // allFresherThan reports whether every dependency channel of rank r has
 // delivered a message after t. Caller holds the rank's mutex.
-func (s *solver) allFresherThan(r int, t time.Time) bool {
+func (s *solver) allFresherThan(r int, t protocol.Time) bool {
 	if len(s.lastArrival[r]) < s.plan.RecvCount[r] {
 		return false
 	}
 	for _, at := range s.lastArrival[r] {
-		if !at.After(t) {
+		if at <= t {
 			return false
 		}
 	}
@@ -625,7 +658,7 @@ func (s *solver) runSync(r int) {
 		}
 		s.mus[r].Unlock()
 		s.iters[r]++
-		s.itersDone.Add(1)
+		s.stall.Tick()
 
 		// Blocking exchange: the sends of one round overlap (one helper
 		// per target, like MPI_Isend + Waitall), then block until every
@@ -653,7 +686,11 @@ func (s *solver) runSync(r int) {
 			return
 		}
 		if global < cfg.Eps {
-			s.syncConverged.Store(true)
+			// The global reduction just validated every block: record the
+			// stop through the shared coordinator, exactly like the
+			// engine's sync path.
+			s.ranks[r].Validate()
+			s.coord.MarkStopped()
 			return
 		}
 	}
@@ -738,87 +775,4 @@ func (rd *reducer) add(round int32, v float64, n int) (done bool, max float64) {
 		return true, rr.max
 	}
 	return false, 0
-}
-
-// --- coordinator (async global convergence detection, rank 0) ---
-
-// onState folds a convergence-state message into the coordinator — the
-// engine's centralized detection with the grace-window hardening, on wall
-// clocks.
-func (s *solver) onState(m transport.Msg) {
-	c := s.coord
-	c.mu.Lock()
-	c.msgs++
-	if c.stopped {
-		c.mu.Unlock()
-		// A state message after the stop means its sender missed the
-		// broadcast: repeat the stop rather than letting it run to cap.
-		from := int(m.From)
-		if from != 0 {
-			s.spawn(func() {
-				s.sendReliable(0, from, transport.Msg{Type: transport.MsgStop, From: 0})
-			})
-		}
-		return
-	}
-	from := int(m.From)
-	if c.conv[from] == m.Flag {
-		c.mu.Unlock()
-		return // duplicate (heartbeat)
-	}
-	c.conv[from] = m.Flag
-	if !m.Flag {
-		c.count--
-		c.gen++
-		c.mu.Unlock()
-		return
-	}
-	c.count++
-	if c.count < c.n {
-		c.mu.Unlock()
-		return
-	}
-	// Every rank has confirmed: arm the delayed stop.
-	gen := c.gen
-	c.timer = time.AfterFunc(s.cfg.Grace, func() {
-		c.mu.Lock()
-		fire := c.gen == gen && c.count == c.n && !c.stopped
-		if fire {
-			c.stopped = true
-		}
-		c.mu.Unlock()
-		if fire {
-			s.broadcastStop()
-		}
-	})
-	c.mu.Unlock()
-}
-
-type coordinator struct {
-	mu      sync.Mutex
-	n       int
-	conv    []bool
-	count   int
-	msgs    int
-	stopped bool
-	gen     int
-	timer   *time.Timer
-}
-
-func (c *coordinator) isStopped() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stopped
-}
-
-func (c *coordinator) msgCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.msgs
-}
-
-func (c *coordinator) graceTimer() *time.Timer {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.timer
 }

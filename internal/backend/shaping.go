@@ -108,6 +108,130 @@ func linkShape(grid string, fromSite, toSite, sites int) transport.Shaping {
 	return transport.Shaping{Delay: wanDelay}
 }
 
+// --- Scenario shaping ---
+//
+// The simulated scenarios (internal/scenario) are scripted timelines, but a
+// native transport's links are shaped once, before Start. The two presets
+// that perturb the *network* therefore map to their steady-state analogue:
+// the duty cycle of the scripted bursts becomes a constant loss rate or
+// latency factor held for the whole run. The CPU- and crash-based presets
+// (diurnal-load, node-churn) have no transport-level analogue — background
+// load and state loss live above the wire — and stay simulator-only.
+
+// NativeScenarioNames lists the grid-dynamics presets a native cell can
+// run: the static grid, plus the two network perturbations with
+// steady-state transport analogues.
+var NativeScenarioNames = []string{"static", "flaky-adsl", "lossy-wan"}
+
+// NativeScenario reports whether the named scenario has a native analogue.
+func NativeScenario(name string) bool {
+	for _, s := range NativeScenarioNames {
+		if s == name || (s == "static" && name == "") {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultLossSeed seeds the deterministic per-link loss streams when the
+// caller has no sweep seed, so an unseeded lossy native cell still drops
+// the same messages on every run and on both transports.
+const DefaultLossSeed = 20040426
+
+// The steady-state scenario constants: the scripted flaky-adsl preset
+// partitions the weakest site for roughly a third of the run (loss 0.3 on
+// its cross-site links here) and multiplies single-site LAN latency by 200
+// inside its bursts (a milder constant ×20 here, so native runs stay
+// interactive); lossy-wan drops 30% of data messages inside bursts whose
+// duty cycle is about a third (a constant 10% here).
+const (
+	flakyCrossSiteLoss = 0.3
+	flakyLANDelayMul   = 20
+	lossyWANLoss       = 0.1
+)
+
+// ScenarioGridShaping returns the named grid's n×n shaping matrix with the
+// scenario's steady-state analogue applied. seed selects the deterministic
+// per-link loss streams (0 falls back to DefaultLossSeed).
+func ScenarioGridShaping(grid, scen string, n int, seed int64) ([][]transport.Shaping, error) {
+	m, err := GridShaping(grid, n)
+	if err != nil {
+		return nil, err
+	}
+	if scen == "" {
+		scen = "static"
+	}
+	if seed == 0 {
+		seed = DefaultLossSeed
+	}
+	site, sites, err := siteLayout(grid)
+	if err != nil {
+		return nil, err
+	}
+	// Per-link seeds decorrelate the loss streams of different links while
+	// keeping the whole matrix a pure function of (grid, scen, n, seed).
+	linkSeed := func(from, to int) int64 { return seed + int64(from*n+to) }
+	switch scen {
+	case "static":
+	case "flaky-adsl":
+		if sites == 1 {
+			// No uplink to cut: the LAN degrades instead, like the
+			// simulated preset.
+			for from := range m {
+				for to := range m[from] {
+					if to != from {
+						m[from][to].Delay *= flakyLANDelayMul
+					}
+				}
+			}
+			break
+		}
+		weakest := sites - 1 // the ADSL site on the paper's second grid
+		for from := range m {
+			for to := range m[from] {
+				if to == from || site(from) == site(to) {
+					continue
+				}
+				if site(from) == weakest || site(to) == weakest {
+					m[from][to].Loss = flakyCrossSiteLoss
+					m[from][to].Seed = linkSeed(from, to)
+				}
+			}
+		}
+	case "lossy-wan":
+		for from := range m {
+			for to := range m[from] {
+				if to != from {
+					m[from][to].Loss = lossyWANLoss
+					m[from][to].Seed = linkSeed(from, to)
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("scenario %q has no native analogue (native scenarios: %s)",
+			scen, strings.Join(NativeScenarioNames, ", "))
+	}
+	return m, nil
+}
+
+// ApplyScenarioShaping shapes every link of tr according to the named grid
+// profile with the scenario's steady-state analogue. Must be called before
+// tr.Start.
+func ApplyScenarioShaping(tr transport.Transport, grid, scen string, seed int64) error {
+	m, err := ScenarioGridShaping(grid, scen, tr.Size(), seed)
+	if err != nil {
+		return err
+	}
+	for from := range m {
+		for to := range m[from] {
+			if to != from {
+				tr.SetShaping(from, to, m[from][to])
+			}
+		}
+	}
+	return nil
+}
+
 // NewTransport builds the named transport ("chan" or "tcp") over n ranks.
 func NewTransport(name string, n int) (transport.Transport, error) {
 	switch name {

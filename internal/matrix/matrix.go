@@ -15,10 +15,13 @@
 // in-process or TCP-loopback transport shaped like the cell's grid,
 // measuring wall-clock time on this host. Native cells use the pseudo-
 // environment "go" (the Go runtime is their middleware — §6's feature
-// list, provided natively), cover the linear problem, and run under the
-// static scenario; they execute serially after the simulated pool so
-// concurrent cells cannot oversubscribe the host and corrupt each other's
-// wall clocks.
+// list, provided natively), cover every problem, and run the scenarios
+// with a steady-state transport analogue (static, flaky-adsl, lossy-wan);
+// they execute serially after the simulated pool so concurrent cells
+// cannot oversubscribe the host and corrupt each other's wall clocks.
+// Both drivers run the same protocol core (internal/protocol), so a
+// native cell and its simulated twin differ only in runtime, never in
+// algorithm.
 //
 // The paper's axes:
 //
@@ -47,6 +50,7 @@ import (
 	"strings"
 
 	"aiac/internal/aiac"
+	"aiac/internal/backend"
 	"aiac/internal/cluster"
 	"aiac/internal/des"
 	"aiac/internal/env/madmpi"
@@ -64,8 +68,10 @@ var (
 	EnvNames = []string{"mpi", "pm2", "madmpi", "omniorb"}
 	// GridNames lists the simulated platforms (§5.1, §5.3).
 	GridNames = []string{"3site", "adsl", "local", "multiproto"}
-	// ProblemNames lists the test problems (§4.2).
-	ProblemNames = []string{"linear", "chem"}
+	// ProblemNames lists the test problems: the paper's two (§4.2) plus
+	// the two local-solver variants (block-GMRES multisplitting of the
+	// sparse system, strip-Newton on the non-linear reaction problem).
+	ProblemNames = []string{"linear", "gmres", "newton", "chem"}
 	// ScenarioNames lists the grid-dynamics presets (internal/scenario),
 	// the static grid first.
 	ScenarioNames = scenario.Names()
@@ -132,6 +138,15 @@ type ChemParams struct {
 	GmresTol float64 // inner GMRES tolerance
 }
 
+// NewtonParams tunes the standalone non-linear reaction problem cells
+// (problems.Reaction: strip-local Newton with manufactured truth).
+type NewtonParams struct {
+	C        float64 // reaction strength
+	Eps      float64 // convergence threshold on the scaled Newton step
+	MaxIters int     // per-processor iteration cap
+	Seed     int64   // manufactured-solution seed; repetition r uses Seed+r
+}
+
 // Spec selects the cells of a sweep. Empty axis slices mean "all values"
 // (for Sizes: the per-problem default).
 type Spec struct {
@@ -148,6 +163,7 @@ type Spec struct {
 
 	Linear LinearParams
 	Chem   ChemParams
+	Newton NewtonParams
 }
 
 // DefaultSpec sweeps the full env×mode×grid matrix of the paper's
@@ -169,15 +185,23 @@ func DefaultSpec() Spec {
 		Backends:  []string{"sim"},
 		Linear:    LinearParams{Diags: 12, Rho: 0.85, Eps: 1e-5, MaxIters: 3000000, Seed: 20040426},
 		Chem:      ChemParams{StepS: 180, HorizonS: 540, Eps: 1e-6, GmresTol: 1e-6},
+		Newton:    NewtonParams{C: 1, Eps: 1e-9, MaxIters: 3000000, Seed: 20040426},
 	}
 }
 
 // DefaultSizeFor is the per-problem problem size used when Spec.Sizes is
 // empty: big enough that exchange messages leave the small-message regime,
-// small enough for interactive sweeps.
+// small enough for interactive sweeps. The block-GMRES variant runs a full
+// inner solve per outer iteration, so its default is smaller than the
+// gradient-iterated system's.
 func DefaultSizeFor(problem string) int {
-	if problem == "chem" {
+	switch problem {
+	case "chem":
 		return 36
+	case "gmres":
+		return 4000
+	case "newton":
+		return 6000
 	}
 	return 12000
 }
@@ -189,9 +213,11 @@ func DefaultSizeFor(problem string) int {
 // native groups follow their simulated twins — then the versions (mode ×
 // env, baseline first), the row order of the paper's tables. Unsupported
 // (env, mode) pairs are skipped. Native backends enumerate one version per
-// mode under the pseudo-environment "go", for the linear problem under the
-// static scenario only: a native run has no simulated middleware to vary
-// and no scripted virtual-time perturbations to apply.
+// mode under the pseudo-environment "go" (a native run has no simulated
+// middleware to vary), for every problem, under the scenarios with a
+// steady-state transport analogue (backend.NativeScenarioNames: static,
+// flaky-adsl, lossy-wan); the scripted CPU/crash presets stay
+// simulator-only.
 func (s Spec) Cells() []Cell {
 	s = s.withDefaults()
 	var cells []Cell
@@ -205,7 +231,7 @@ func (s Spec) Cells() []Cell {
 				for _, size := range sizes {
 					for _, scen := range s.Scenarios {
 						for _, bk := range s.Backends {
-							if bk != "sim" && (prob != "linear" || scen != "static") {
+							if bk != "sim" && !backend.NativeScenario(scen) {
 								continue
 							}
 							for _, mode := range s.Modes {
@@ -265,6 +291,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Chem == (ChemParams{}) {
 		s.Chem = d.Chem
+	}
+	if s.Newton == (NewtonParams{}) {
+		s.Newton = d.Newton
 	}
 	return s
 }

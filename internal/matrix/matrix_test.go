@@ -268,20 +268,42 @@ func TestBackendAxisEnumeration(t *testing.T) {
 		t.Fatalf("cell key lacks the backend suffix: %s", cells[6].Key())
 	}
 
-	// Native cells exist only for linear×static: a chem spec or a dynamic
-	// scenario enumerates no native cells.
-	chemSpec := spec
-	chemSpec.Problems = []string{"chem"}
-	for _, c := range chemSpec.Cells() {
-		if c.backendName() != "sim" {
-			t.Fatalf("enumerated a native chem cell: %s", c.Key())
+	// Every committed problem enumerates native cells now that the
+	// protocol core is runtime-agnostic.
+	for _, prob := range ProblemNames {
+		probSpec := spec
+		probSpec.Problems = []string{prob}
+		native := 0
+		for _, c := range probSpec.Cells() {
+			if c.backendName() != "sim" {
+				native++
+			}
+		}
+		if native == 0 {
+			t.Fatalf("problem %s enumerated no native cells", prob)
 		}
 	}
-	dynSpec := spec
-	dynSpec.Scenarios = []string{"flaky-adsl"}
-	for _, c := range dynSpec.Cells() {
-		if c.backendName() != "sim" {
-			t.Fatalf("enumerated a native dynamic-scenario cell: %s", c.Key())
+	// Scenarios with a steady-state transport analogue are legal native
+	// cells; the scripted CPU/crash presets stay simulator-only.
+	for _, tc := range []struct {
+		scen   string
+		native bool
+	}{
+		{"flaky-adsl", true},
+		{"lossy-wan", true},
+		{"diurnal-load", false},
+		{"node-churn", false},
+	} {
+		dynSpec := spec
+		dynSpec.Scenarios = []string{tc.scen}
+		native := 0
+		for _, c := range dynSpec.Cells() {
+			if c.backendName() != "sim" {
+				native++
+			}
+		}
+		if (native > 0) != tc.native {
+			t.Fatalf("scenario %s: %d native cells, want native=%v", tc.scen, native, tc.native)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"aiac/internal/gmres"
 	"aiac/internal/la"
 	"aiac/internal/problems"
+	"aiac/internal/protocol"
 	"aiac/internal/report"
 	"aiac/internal/scenario"
 	"aiac/internal/trace"
@@ -144,6 +145,13 @@ type measurement struct {
 	reconvergeSec float64
 	restarts      int
 	wallSec       float64
+
+	// Protocol observability (internal/protocol): counters plus the
+	// resolved constants that produced the run.
+	heartbeats   int
+	rebroadcasts int
+	reconfirms   int
+	proto        protocol.Params
 }
 
 // result converts the repetition into a single-rep report.Result for c.
@@ -155,8 +163,20 @@ func (m measurement) result(c Cell) report.Result {
 		Messages: m.messages, Bytes: m.bytes, InterSite: m.interSite,
 		Dropped: m.dropped, Residual: m.residual, Converged: m.converged,
 		Stalled: m.stalled, ReconvergeSec: m.reconvergeSec, Restarts: m.restarts,
-		WallSec: m.wallSec,
+		WallSec:    m.wallSec,
+		Heartbeats: m.heartbeats, StopRebroadcasts: m.rebroadcasts, ReconfirmRounds: m.reconfirms,
+		GraceSec: m.proto.Grace.Seconds(), HeartbeatSec: m.proto.Heartbeat.Seconds(),
+		PersistIters: m.proto.PersistIters,
 	}
+}
+
+// protocolObservability folds an engine report's protocol counters and
+// constants into the measurement.
+func (m *measurement) fromEngine(rpt *aiac.Report) {
+	m.heartbeats += rpt.Heartbeats
+	m.rebroadcasts += rpt.StopRebroadcasts
+	m.reconfirms += rpt.ReconfirmRounds
+	m.proto = rpt.Protocol
 }
 
 // scenarioName normalises the cell's scenario ("" means static).
@@ -177,12 +197,13 @@ func (c Cell) backendName() string {
 
 // runCell executes one cell's repetitions and aggregates them.
 func runCell(c Cell, spec Spec, reps int, seed int64, timeout time.Duration) report.Result {
-	// Without a jitter seed, only the linear problem has a seed axis to
-	// perturb per repetition; the chemical simulation is then fully
-	// deterministic and extra reps would be bit-identical reruns — run it
-	// once. Native cells are nondeterministic by nature (real scheduling,
-	// real wire), so their repetitions always measure distinct runs.
-	if c.backendName() == "sim" && c.Problem != "linear" && seed == 0 {
+	// Without a jitter seed, only the problems with a generator-seed axis
+	// (linear, gmres, newton) have anything to perturb per repetition; the
+	// chemical simulation is then fully deterministic and extra reps would
+	// be bit-identical reruns — run it once. Native cells are
+	// nondeterministic by nature (real scheduling, real wire), so their
+	// repetitions always measure distinct runs.
+	if c.backendName() == "sim" && c.Problem == "chem" && seed == 0 {
 		reps = 1
 	}
 	out := report.Result{
@@ -238,7 +259,7 @@ func RunCellOnce(c Cell, spec Spec, rep int, seed int64, tr *trace.Collector) (r
 // cells, natively over a fresh transport otherwise.
 func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector) (measurement, error) {
 	if c.backendName() != "sim" {
-		return runNative(c, spec, rep, timeout)
+		return runNative(c, spec, rep, seed, timeout)
 	}
 	scen, err := scenario.ByName(c.scenarioName())
 	if err != nil {
@@ -259,21 +280,33 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 	rt := scenario.Deploy(scen, grid)
 
 	var m measurement
-	switch c.Problem {
-	case "linear":
-		lp := spec.Linear
-		prob := problems.NewLinear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+	linearLike := func(prob aiac.Problem, xtrue []float64, eps float64, maxIters int) {
 		rpt := aiac.Run(grid, env, prob, aiac.Config{
-			Mode: c.Mode, Eps: lp.Eps, MaxIters: lp.MaxIters,
+			Mode: c.Mode, Eps: eps, MaxIters: maxIters,
 			Trace: tr, Dynamics: rt,
 		})
 		m.timeSec = rpt.Elapsed.Seconds()
 		m.iters = rpt.TotalIters()
-		m.residual = la.MaxNormDiff(rpt.X, prob.XTrue)
+		m.residual = la.MaxNormDiff(rpt.X, xtrue)
 		m.converged = rpt.Reason == aiac.StopConverged && rpt.TaintedRestarts == 0
 		m.stalled = rpt.Stalled
 		m.reconvergeSec = rpt.Reconverge.Seconds()
 		m.restarts = rpt.Restarts
+		m.fromEngine(rpt)
+	}
+	switch c.Problem {
+	case "linear":
+		lp := spec.Linear
+		prob := problems.NewLinear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		linearLike(prob, prob.XTrue, lp.Eps, lp.MaxIters)
+	case "gmres":
+		lp := spec.Linear
+		prob := problems.NewLinearGMRES(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		linearLike(prob, prob.XTrue, lp.Eps, lp.MaxIters)
+	case "newton":
+		np := spec.Newton
+		prob := problems.NewReaction(c.Size, np.C, np.Seed+int64(rep))
+		linearLike(prob, prob.XTrue, np.Eps, np.MaxIters)
 	case "chem":
 		cp := spec.Chem
 		p := chem.New(c.Size, c.Size)
@@ -301,6 +334,7 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 			if s := step.Reconverge.Seconds(); s > m.reconvergeSec {
 				m.reconvergeSec = s
 			}
+			m.fromEngine(step)
 		}
 	default:
 		return measurement{}, fmt.Errorf("unknown problem %q", c.Problem)
@@ -322,22 +356,13 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 const DefaultNativeTimeout = 2 * time.Minute
 
 // runNative executes one repetition of a native cell: goroutine ranks over
-// a fresh grid-shaped transport, measured in wall-clock time
-// (internal/backend). The repetition perturbs the matrix seed exactly like
-// a simulated repetition.
-func runNative(c Cell, spec Spec, rep int, timeout time.Duration) (measurement, error) {
-	if c.Problem != "linear" {
-		return measurement{}, fmt.Errorf("native backends run the linear problem (got %q)", c.Problem)
-	}
-	if c.scenarioName() != "static" {
-		return measurement{}, fmt.Errorf("native backends run the static scenario (got %q)", c.Scenario)
-	}
-	tr, err := backend.NewTransport(c.backendName(), c.Procs)
-	if err != nil {
-		return measurement{}, err
-	}
-	if err := backend.ApplyGridShaping(tr, c.Grid); err != nil {
-		return measurement{}, err
+// a fresh grid-shaped (and scenario-shaped) transport, measured in
+// wall-clock time (internal/backend). The repetition perturbs the problem
+// seed exactly like a simulated repetition; every committed problem runs,
+// the chemical one as its per-time-step loop over fresh transports.
+func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration) (measurement, error) {
+	if !backend.NativeScenario(c.scenarioName()) {
+		return measurement{}, fmt.Errorf("scenario %q has no native analogue", c.Scenario)
 	}
 	if timeout <= 0 {
 		timeout = DefaultNativeTimeout
@@ -346,24 +371,91 @@ func runNative(c Cell, spec Spec, rep int, timeout time.Duration) (measurement, 
 	if stallAfter > timeout/2 {
 		stallAfter = timeout / 2
 	}
-	lp := spec.Linear
-	prob := problems.NewLinear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
-	rpt, err := backend.Run(prob, tr, backend.Config{
-		Mode: c.Mode, Eps: lp.Eps, MaxIters: lp.MaxIters,
-		Timeout: timeout, StallAfter: stallAfter,
-	})
-	if err != nil {
-		return measurement{}, err
+	lossSeed := seed
+	if lossSeed != 0 {
+		lossSeed += int64(rep)
 	}
-	var m measurement
-	m.timeSec = rpt.Wall.Seconds()
-	m.wallSec = rpt.Wall.Seconds()
-	m.iters = rpt.TotalIters()
-	m.residual = la.MaxNormDiff(rpt.X, prob.XTrue)
-	m.converged = rpt.Converged()
-	m.stalled = rpt.Reason == aiac.StopStalled
-	m.messages = rpt.Net.Messages
-	m.bytes = rpt.Net.Bytes
-	m.dropped = rpt.Net.Dropped
+	// One solve over a freshly shaped transport; the chem loop below runs
+	// it once per time step.
+	solve := func(prob aiac.Problem, eps float64, maxIters int) (*backend.Report, error) {
+		tr, err := backend.NewTransport(c.backendName(), c.Procs)
+		if err != nil {
+			return nil, err
+		}
+		if err := backend.ApplyScenarioShaping(tr, c.Grid, c.scenarioName(), lossSeed); err != nil {
+			return nil, err
+		}
+		return backend.Run(prob, tr, backend.Config{
+			Mode: c.Mode, Eps: eps, MaxIters: maxIters,
+			Timeout: timeout, StallAfter: stallAfter,
+		})
+	}
+	fold := func(m *measurement, rpt *backend.Report, xtrue []float64) {
+		m.timeSec += rpt.Wall.Seconds()
+		m.wallSec += rpt.Wall.Seconds()
+		m.iters += rpt.TotalIters()
+		if xtrue != nil {
+			m.residual = la.MaxNormDiff(rpt.X, xtrue)
+		}
+		m.converged = m.converged && rpt.Converged()
+		m.stalled = m.stalled || rpt.Reason == aiac.StopStalled
+		m.messages += rpt.Net.Messages
+		m.bytes += rpt.Net.Bytes
+		m.dropped += rpt.Net.Dropped
+		m.heartbeats += rpt.Heartbeats
+		m.rebroadcasts += rpt.StopRebroadcasts
+		m.reconfirms += rpt.ReconfirmRounds
+		m.proto = rpt.Protocol
+	}
+	m := measurement{converged: true}
+	switch c.Problem {
+	case "linear":
+		lp := spec.Linear
+		prob := problems.NewLinear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		rpt, err := solve(prob, lp.Eps, lp.MaxIters)
+		if err != nil {
+			return measurement{}, err
+		}
+		fold(&m, rpt, prob.XTrue)
+	case "gmres":
+		lp := spec.Linear
+		prob := problems.NewLinearGMRES(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		rpt, err := solve(prob, lp.Eps, lp.MaxIters)
+		if err != nil {
+			return measurement{}, err
+		}
+		fold(&m, rpt, prob.XTrue)
+	case "newton":
+		np := spec.Newton
+		prob := problems.NewReaction(c.Size, np.C, np.Seed+int64(rep))
+		rpt, err := solve(prob, np.Eps, np.MaxIters)
+		if err != nil {
+			return measurement{}, err
+		}
+		fold(&m, rpt, prob.XTrue)
+	case "chem":
+		// The paper's per-time-step synchronisation, natively: one
+		// backend solve per implicit-Euler step, each over a fresh
+		// transport, the state threaded through. A stalled step ends the
+		// run — the remaining steps could only iterate on a broken state.
+		cp := spec.Chem
+		p := chem.New(c.Size, c.Size)
+		gp := gmres.Params{Tol: cp.GmresTol, Restart: 30}
+		y := p.InitialState()
+		for t := 0.0; t < cp.HorizonS-1e-9; t += cp.StepS {
+			prob := problems.NewChemStep(p, y, cp.StepS, t+cp.StepS, gp)
+			rpt, err := solve(prob, cp.Eps, 0)
+			if err != nil {
+				return measurement{}, err
+			}
+			fold(&m, rpt, nil)
+			y = rpt.X
+			if m.stalled {
+				break
+			}
+		}
+	default:
+		return measurement{}, fmt.Errorf("unknown problem %q", c.Problem)
+	}
 	return m, nil
 }

@@ -20,8 +20,11 @@ import (
 	"strings"
 )
 
-// Schema is the persisted-file format version.
-const Schema = 1
+// Schema is the persisted-file format version. Version 2 added the
+// protocol observability counters (heartbeats, stop rebroadcasts,
+// reconfirm rounds) and the protocol constants; Regressions compares the
+// counters only against baselines that recorded them (schema >= 2).
+const Schema = 2
 
 // Result is the outcome of one experiment cell, aggregated over its
 // repetitions.
@@ -81,6 +84,21 @@ type Result struct {
 	// their execution-time metric — so ratio columns work unchanged;
 	// WallSec stays 0 for simulated cells, whose TimeSec is virtual.
 	WallSec float64 `json:"wall_sec,omitempty"`
+	// Heartbeats, StopRebroadcasts and ReconfirmRounds are the protocol
+	// observability counters of the median rep (internal/protocol):
+	// confirmed-state re-sends, the coordinator's post-stop stop repeats,
+	// and post-crash re-confirmations. Deterministic for simulated cells,
+	// so Regressions treats a drift as a protocol regression even when
+	// the timing survives.
+	Heartbeats       int `json:"heartbeats,omitempty"`
+	StopRebroadcasts int `json:"stop_rebroadcasts,omitempty"`
+	ReconfirmRounds  int `json:"reconfirm_rounds,omitempty"`
+	// GraceSec, HeartbeatSec and PersistIters record the protocol
+	// constants that produced the measurement (protocol.Params), so a
+	// BENCH file documents which tuning its numbers belong to.
+	GraceSec     float64 `json:"grace_sec,omitempty"`
+	HeartbeatSec float64 `json:"heartbeat_sec,omitempty"`
+	PersistIters int     `json:"persist_iters,omitempty"`
 	// HostSec is the host wall time spent simulating this cell (all
 	// repetitions). Not compared across runs.
 	HostSec float64 `json:"host_sec"`
@@ -217,8 +235,8 @@ func (s *Set) Table() string {
 			unit = fmt.Sprintf(", %s backend (wall-clock)", r.BackendOrSim())
 		}
 		fmt.Fprintf(&b, "%s — %s grid, %d procs, n=%d, scenario %s%s\n", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic(), unit)
-		fmt.Fprintf(&b, "  %-16s %12s %8s %10s %10s %10s %10s %6s\n",
-			"version", "time", "ratio", "iters", "msgs", "MB", "residual", "conv")
+		fmt.Fprintf(&b, "  %-16s %12s %8s %10s %10s %10s %10s %6s %5s %5s %5s\n",
+			"version", "time", "ratio", "iters", "msgs", "MB", "residual", "conv", "hb", "rebc", "recf")
 		writeGroup(&b, s.groupOf(g))
 		fmt.Fprintf(&b, "\n")
 	}
@@ -254,9 +272,10 @@ func writeGroup(b *strings.Builder, grp []Result) {
 		if r.Stalled {
 			conv = fmt.Sprintf("%6s", "STALL")
 		}
-		fmt.Fprintf(b, "  %-16s %12s %8s %10d %10d %10.1f %s %s\n",
+		fmt.Fprintf(b, "  %-16s %12s %8s %10d %10d %10.1f %s %s %5d %5d %5d\n",
 			r.version(), FmtSec(r.TimeSec), ratio, r.Iters, r.Messages,
-			float64(r.Bytes)/1e6, res, conv)
+			float64(r.Bytes)/1e6, res, conv,
+			r.Heartbeats, r.StopRebroadcasts, r.ReconfirmRounds)
 	}
 }
 
@@ -471,9 +490,16 @@ func Diff(baseline, current *Set) string {
 
 // Regressions compares current against baseline and returns one violation
 // line per shared cell whose simulated time moved by more than tolPct
-// percent (or whose stall/convergence outcome changed), plus one per
-// baseline cell missing from the current run. An empty slice means the run
-// reproduces the baseline within tolerance — the CI smoke-sweep check.
+// percent (or whose stall/convergence outcome changed, or whose protocol
+// counters drifted), plus one per baseline cell missing from the current
+// run. An empty slice means the run reproduces the baseline within
+// tolerance — the CI smoke-sweep check.
+//
+// The protocol counters (heartbeats, stop rebroadcasts, reconfirm rounds)
+// are deterministic for simulated cells and compared exactly, so a
+// protocol regression fails the check even when the timing survives. They
+// exist only in baselines written at schema >= 2; older files gate on
+// timing and outcome alone.
 func Regressions(baseline, current *Set, tolPct float64) []string {
 	var out []string
 	for _, old := range baseline.Results {
@@ -489,6 +515,15 @@ func Regressions(baseline, current *Set, tolPct float64) []string {
 		if now.Converged != old.Converged || now.Stalled != old.Stalled {
 			out = append(out, fmt.Sprintf("%s: converged=%v stalled=%v, baseline converged=%v stalled=%v",
 				old.Key(), now.Converged, now.Stalled, old.Converged, old.Stalled))
+			continue
+		}
+		if baseline.Schema >= 2 && old.BackendOrSim() == "sim" &&
+			(now.Heartbeats != old.Heartbeats ||
+				now.StopRebroadcasts != old.StopRebroadcasts ||
+				now.ReconfirmRounds != old.ReconfirmRounds) {
+			out = append(out, fmt.Sprintf("%s: protocol counters hb=%d rebc=%d recf=%d, baseline hb=%d rebc=%d recf=%d",
+				old.Key(), now.Heartbeats, now.StopRebroadcasts, now.ReconfirmRounds,
+				old.Heartbeats, old.StopRebroadcasts, old.ReconfirmRounds))
 			continue
 		}
 		if old.TimeSec > 0 {
