@@ -16,8 +16,19 @@
 //	aiacbench -list -backend chan -problem chem  # print the enumerated cells, run nothing
 //	aiacbench -reps 3 -seed 42                # median/min over three jittered repetitions
 //	aiacbench -o BENCH_pr42.json              # choose the results file
+//	aiacbench -resume BENCH_pr42.jsonl        # continue an interrupted/extended sweep
+//	aiacbench -retries 2                      # re-run cells that end in an error
 //	aiacbench -baseline BENCH_baseline.json   # print per-cell deltas vs a saved run
 //	aiacbench -baseline B.json -faildelta 1   # exit non-zero on >1% time drift (CI)
+//
+// Every sweep with a results file streams each completed cell to a JSONL
+// sidecar next to it (BENCH_pr42.json → BENCH_pr42.jsonl), fsync'd per
+// row, so killing the sweep loses nothing already measured. -resume reads
+// such a sidecar back and re-executes only the cells whose content
+// address — cell key, problem parameters, seeds, repetition count, report
+// schema, protocol constants, native timeout — has no valid row yet; new
+// results append to the same sidecar, and the final JSON is written as
+// usual, indistinguishable from an uninterrupted run.
 //
 // Native cells (backend chan or tcp) run the solve for real — goroutine
 // ranks over an in-process or TCP-loopback transport shaped like the
@@ -38,6 +49,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +59,7 @@ import (
 
 	"aiac/internal/bench"
 	"aiac/internal/matrix"
+	"aiac/internal/problems"
 	"aiac/internal/report"
 )
 
@@ -66,7 +79,9 @@ func main() {
 		reps      = flag.Int("reps", 1, "repetitions per cell (median/min aggregation)")
 		seed      = flag.Int64("seed", 0, "network-jitter seed: repetition r draws from stream seed+r (0 = jitter off, reps are bit-identical)")
 		list      = flag.Bool("list", false, "print the enumerated matrix cells and exit without running them")
-		outFile   = flag.String("o", "BENCH_latest.json", "results file to write (empty = don't persist)")
+		outFile   = flag.String("o", "BENCH_latest.json", "results file to write (empty = don't persist); each completed cell also streams to the .jsonl sidecar next to it")
+		resume    = flag.String("resume", "", "JSONL sidecar of an earlier sweep: reuse every cell whose content address already has a valid row, append new results to the same file")
+		retries   = flag.Int("retries", 0, "re-run a cell whose attempt ended in an error up to this many extra times (the attempt count is recorded)")
 		baseline  = flag.String("baseline", "", "saved results file to diff this run against")
 		failDelta = flag.Float64("faildelta", 0, "with -baseline: exit non-zero if any shared cell's time drifts more than this many percent, or outcomes change (0 = report only)")
 
@@ -83,7 +98,7 @@ func main() {
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *table != 0 || *figure != 0 || *all {
-		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "backend", "timeout", "reps", "seed", "workers", "list", "o", "baseline", "faildelta"} {
+		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "backend", "timeout", "reps", "seed", "workers", "list", "o", "resume", "retries", "baseline", "faildelta"} {
 			if explicit[name] {
 				fmt.Fprintf(os.Stderr, "-%s is a matrix-sweep flag; it has no effect with -table/-figure/-all\n", name)
 				os.Exit(2)
@@ -134,32 +149,113 @@ func main() {
 		fmt.Fprintln(os.Stderr, "the filters select no runnable cells (note: async×mpi is unsupported, and native backends run the scenarios with a transport analogue: static, flaky-adsl, lossy-wan)")
 		os.Exit(2)
 	}
-	fmt.Printf("sweeping %d cells with %d workers, %d rep(s) per cell\n\n", len(cells), *workers, *reps)
 
-	done := 0
+	// Crash-safe streaming: every completed cell appends to a JSONL
+	// sidecar. With -resume, prior rows are reused and new rows extend the
+	// same file; otherwise a fresh sidecar is derived from -o.
+	var prior []report.SidecarRow
+	var sidecar *report.SidecarWriter
+	sidecarPath := ""
+	if *resume != "" {
+		if prior, err = report.ReadSidecar(*resume); err != nil {
+			fmt.Fprintf(os.Stderr, "reading -resume sidecar: %v\n", err)
+			os.Exit(2)
+		}
+		// A non-empty file with zero valid rows is not a sidecar (most
+		// likely the .json results file was passed instead of its .jsonl
+		// sidecar): refuse before re-running everything and appending
+		// JSONL rows into it.
+		if len(prior) == 0 {
+			if st, serr := os.Stat(*resume); serr == nil && st.Size() > 0 {
+				fmt.Fprintf(os.Stderr, "%s holds no valid sidecar rows — -resume takes the .jsonl sidecar, not the .json results file\n", *resume)
+				os.Exit(2)
+			}
+		}
+		sidecarPath = *resume
+		if sidecar, err = report.AppendSidecar(sidecarPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else if *outFile != "" {
+		sidecarPath = sidecarFor(*outFile)
+		if sidecar, err = report.CreateSidecar(sidecarPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("sweeping %d cells with %d workers, %d rep(s) per cell\n", len(cells), *workers, *reps)
+	if sidecarPath != "" {
+		fmt.Printf("streaming completed cells to %s\n", sidecarPath)
+	}
+	fmt.Println()
+
+	done, executed, reused := 0, 0, 0
 	start := time.Now()
 	set, err := matrix.Run(spec, matrix.Options{
 		Workers: *workers,
 		Timeout: *timeout,
 		Reps:    *reps,
 		Seed:    *seed,
+		Retries: *retries,
+		Sidecar: sidecar,
+		Prior:   prior,
 		OnResult: func(r report.Result) {
 			done++
 			status := fmt.Sprintf("%12s  iters=%d", report.FmtSec(r.TimeSec), r.Iters)
-			if r.Error != "" {
+			switch {
+			case r.Error != "":
 				status = "error: " + r.Error
+			case r.Resumed:
+				reused++
+				status += "  (cached)"
 			}
-			fmt.Printf("[%3d/%d] %-44s %s\n", done, len(cells), r.Key(), status)
+			if !r.Resumed {
+				executed++
+			}
+			// ETA from the mean host time of the cells this run actually
+			// executed — a coarse progress hint, not a promise (workers
+			// overlap and cell costs vary widely).
+			eta := ""
+			if remaining := len(cells) - done; remaining > 0 && executed > 0 {
+				per := time.Since(start) / time.Duration(executed)
+				eta = fmt.Sprintf("  eta ~%s", (per * time.Duration(remaining)).Round(time.Second))
+			}
+			fmt.Printf("[%3d/%d] %-44s %s%s\n", done, len(cells), r.Key(), status, eta)
 		},
 	})
+	if sidecar != nil {
+		if cerr := sidecar.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	sweepDegraded := false
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if set == nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// The sweep completed but something went wrong alongside it. Keep
+		// every measurement (tables, final JSON), say precisely what was
+		// lost, and exit non-zero at the end.
+		sweepDegraded = true
+		switch {
+		case errors.Is(err, problems.ErrMutated):
+			fmt.Fprintf(os.Stderr, "warning: %v — a solver wrote to shared read-only data; treat this run's measurements as suspect\n", err)
+		case errors.Is(err, matrix.ErrPersist):
+			fmt.Fprintf(os.Stderr, "warning: %v — results are complete, but the sidecar is incomplete and cannot be fully resumed from\n", err)
+		default:
+			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		}
 	}
 	set.CreatedAt = start.UTC().Format(time.RFC3339)
 	set.Command = strings.Join(os.Args, " ")
 
-	fmt.Printf("\nswept %d cells in %v (host time)\n\n", len(cells), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\nswept %d cells in %v (host time)\n", len(cells), time.Since(start).Round(time.Millisecond))
+	if *resume != "" {
+		fmt.Printf("resume: reused %d cached cells from %s; executed %d cells\n", reused, *resume, executed)
+	}
+	fmt.Println()
 	fmt.Print(set.Table())
 	if sc := set.ScalingTable(); sc != "" {
 		fmt.Print(sc)
@@ -192,6 +288,15 @@ func main() {
 			fmt.Printf("\nregression check passed (±%.2f%%)\n", *failDelta)
 		}
 	}
+	if sweepDegraded {
+		os.Exit(1)
+	}
+}
+
+// sidecarFor derives the JSONL sidecar path from the results file:
+// BENCH_x.json → BENCH_x.jsonl.
+func sidecarFor(outFile string) string {
+	return strings.TrimSuffix(outFile, ".json") + ".jsonl"
 }
 
 // addStaticIfMissing extends the scenario axis with "static" when only

@@ -32,6 +32,7 @@ import (
 	"aiac/internal/la"
 	"aiac/internal/matrix"
 	"aiac/internal/problems"
+	"aiac/internal/report"
 	"aiac/internal/scenario"
 	"aiac/internal/trace"
 )
@@ -48,7 +49,7 @@ func main() {
 		eps      = flag.Float64("eps", 1e-7, "convergence threshold")
 		maxIters = flag.Int("maxiters", 1000000, "per-processor iteration cap")
 		matseed  = flag.Int64("matseed", 1, "matrix generator seed")
-		seed     = flag.Int64("seed", 0, "network-jitter seed, as in aiacbench (0 = jitter off)")
+		seed     = flag.Int64("seed", 0, "run-variation seed, as in aiacbench: network jitter on the simulator, deterministic scenario loss shaping on a native backend (0 = off)")
 		balanced = flag.Bool("balanced", false, "speed-proportional row blocks")
 		gantt    = flag.Bool("gantt", false, "print the execution-flow chart")
 		scenF    = flag.String("scenario", "static", "grid-dynamics scenario (one of: static, flaky-adsl, diurnal-load, node-churn, lossy-wan; native backends run the first three)")
@@ -109,11 +110,11 @@ func main() {
 	}
 
 	if *backendF != "sim" {
-		// A native run has no simulated middleware, jitter stream, or
-		// trace: reject the flags that would be silently ignored.
+		// A native run has no simulated middleware or trace: reject the
+		// flags that would be silently ignored.
 		explicit := make(map[string]bool)
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, name := range []string{"env", "balanced", "gantt", "seed"} {
+		for _, name := range []string{"env", "balanced", "gantt"} {
 			if explicit[name] {
 				fmt.Fprintf(os.Stderr, "-%s applies to the simulator; a native -backend run ignores it (the environment is the Go runtime)\n", name)
 				os.Exit(2)
@@ -124,7 +125,7 @@ func main() {
 				*scenF, strings.Join(backend.NativeScenarioNames, ", "))
 			os.Exit(2)
 		}
-		runNative(*backendF, *mode, *gridName, *scenF, *procs, *n, *diags, *rho, *eps, *maxIters, *matseed, *timeout)
+		runNative(*backendF, *mode, *gridName, *scenF, *procs, *n, *diags, *rho, *eps, *maxIters, *matseed, *seed, *timeout)
 		return
 	}
 
@@ -209,42 +210,44 @@ func main() {
 	}
 }
 
-// runNative performs one wall-clock solve on the named native transport
-// (internal/backend), the matrix's chan/tcp backend cells run standalone.
-func runNative(bk, mode, gridName, scen string, procs, n, diags int, rho, eps float64, maxIters int, matseed int64, timeout time.Duration) {
+// runNative performs one wall-clock solve of a native matrix cell. It runs
+// through matrix.RunCellOnce — the exact code path a native sweep cell
+// takes, including grid/scenario transport shaping — so the flags (in
+// particular -timeout, the wall-clock guard) behave identically here and
+// in aiacbench.
+func runNative(bk, mode, gridName, scen string, procs, n, diags int, rho, eps float64, maxIters int, matseed, seed int64, timeout time.Duration) {
 	modes, err := matrix.ParseModes(mode)
 	if err != nil || len(modes) != 1 {
 		fmt.Fprintf(os.Stderr, "bad -mode %q: want async or sync\n", mode)
 		os.Exit(2)
 	}
-	tr, err := backend.NewTransport(bk, procs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	cell := matrix.Cell{
+		Env: matrix.NativeEnv, Mode: modes[0], Grid: gridName, Problem: "linear",
+		Procs: procs, Size: n, Scenario: scen, Backend: bk,
 	}
-	if err := backend.ApplyScenarioShaping(tr, gridName, scen, 0); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	prob := problems.NewLinear(n, diags, rho, matseed)
+	spec := matrix.DefaultSpec()
+	spec.Linear = matrix.LinearParams{Diags: diags, Rho: rho, Eps: eps, MaxIters: maxIters, Seed: matseed}
 	fmt.Printf("solving n=%d (%d diagonals, rho<%.2f) natively on the %s-shaped %s transport, %s, %d procs, scenario %s\n",
 		n, diags, rho, gridName, bk, modes[0], procs, scen)
-	rep, err := backend.Run(prob, tr, backend.Config{
-		Mode: modes[0], Eps: eps, MaxIters: maxIters,
-		Timeout: timeout, StallAfter: timeout / 4,
-	})
+	r, err := matrix.RunCellOnce(cell, spec, 0, seed, timeout, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nresult:        %s\n", rep.Reason)
-	fmt.Printf("wall clock:    %v\n", rep.Wall)
-	fmt.Printf("iterations:    %v (total %d)\n", rep.ItersPerRank, rep.TotalIters())
-	fmt.Printf("error vs true: %.3e\n", la.MaxNormDiff(rep.X, prob.XTrue))
-	fmt.Printf("state msgs:    %d\n", rep.StateMsgs)
+	status := "converged"
+	if !r.Converged {
+		status = "did not converge"
+	}
+	if r.Stalled {
+		status = "stalled (wall-clock guard)"
+	}
+	fmt.Printf("\nresult:        %s\n", status)
+	fmt.Printf("wall clock:    %s\n", report.FmtSec(r.WallSec))
+	fmt.Printf("iterations:    %d (all ranks)\n", r.Iters)
+	fmt.Printf("error vs true: %.3e\n", r.Residual)
 	fmt.Printf("network:       %d messages, %.1f MB (%d dropped)\n",
-		rep.Net.Messages, float64(rep.Net.Bytes)/1e6, rep.Net.Dropped)
-	if rep.Reason == aiac.StopStalled {
+		r.Messages, float64(r.Bytes)/1e6, r.Dropped)
+	if r.Stalled {
 		os.Exit(1)
 	}
 }

@@ -89,7 +89,7 @@ func main() {
 	}
 	fmt.Printf("tracing %s\n", cell.Key())
 	tr := trace.New()
-	r, err := matrix.RunCellOnce(cell, spec, 0, *seed, tr)
+	r, err := matrix.RunCellOnce(cell, spec, 0, *seed, 0, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -392,7 +392,7 @@ func TestNativeCellTimeoutStalls(t *testing.T) {
 func TestTracingNativeCellRejected(t *testing.T) {
 	c := Cell{Env: NativeEnv, Mode: aiac.Async, Grid: "local", Problem: "linear",
 		Procs: 2, Size: 500, Backend: "chan"}
-	if _, err := RunCellOnce(c, DefaultSpec(), 0, 0, trace.New()); err == nil {
+	if _, err := RunCellOnce(c, DefaultSpec(), 0, 0, 0, trace.New()); err == nil {
 		t.Fatal("tracing a native cell should be rejected")
 	}
 }

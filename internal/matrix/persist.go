@@ -1,0 +1,88 @@
+package matrix
+
+import (
+	"fmt"
+	"time"
+
+	"aiac/internal/protocol"
+	"aiac/internal/report"
+)
+
+// This file gives every cell of a sweep a *content address* — the cache
+// key under which its result lands in the JSONL sidecar (report.Sidecar*)
+// and under which a resumed sweep may reuse it. The address covers
+// everything that determines the measurement: the cell key itself, the
+// selected problem's full parameter set, the jitter seed and repetition
+// count, the report schema, the resolved protocol constants, and (for
+// native cells) the wall-clock guard. Change any of them and the address
+// changes, so a resumed sweep re-executes exactly the cells whose inputs
+// moved and reuses the rest verbatim.
+
+// cellCacheKey builds the cell's content address. spec must already be
+// resolved (withDefaults), matching what Run executes.
+func cellCacheKey(c Cell, spec Spec, reps int, seed int64, timeout time.Duration) string {
+	var prob string
+	switch c.Problem {
+	case "linear", "gmres":
+		lp := spec.Linear
+		prob = fmt.Sprintf("diags=%d,rho=%g,eps=%g,maxiters=%d,matseed=%d",
+			lp.Diags, lp.Rho, lp.Eps, lp.MaxIters, lp.Seed)
+	case "newton":
+		np := spec.Newton
+		prob = fmt.Sprintf("c=%g,eps=%g,maxiters=%d,matseed=%d",
+			np.C, np.Eps, np.MaxIters, np.Seed)
+	case "chem":
+		cp := spec.Chem
+		prob = fmt.Sprintf("step=%g,horizon=%g,eps=%g,gmrestol=%g",
+			cp.StepS, cp.HorizonS, cp.Eps, cp.GmresTol)
+	default:
+		prob = "unknown"
+	}
+	// The wall-clock guard changes what a native cell can report (a slow
+	// solve stalls under a tight guard); simulated cells ignore it.
+	to := "-"
+	if c.backendName() != "sim" {
+		t := timeout
+		if t <= 0 {
+			t = DefaultNativeTimeout
+		}
+		to = t.String()
+	}
+	pp := protocol.Params{}.WithDefaults()
+	return fmt.Sprintf("schema=%d|cell=%s|%s{%s}|reps=%d|jitterseed=%d|grace=%dns|heartbeat=%dns|persist=%d|timeout=%s",
+		report.Schema, c.Key(), c.Problem, prob, reps, seed,
+		int64(pp.Grace), int64(pp.Heartbeat), pp.PersistIters, to)
+}
+
+// priorIndex indexes an earlier sweep's sidecar rows two ways: by content
+// address (exact matches are reusable results) and by cell key (any prior
+// measurement of the same cell, reusable or not, carries a host-time hint
+// for the longest-expected-first schedule). Errored rows provide neither —
+// a failed cell must re-run, and its partial host time would mis-rank it.
+type priorIndex struct {
+	byCacheKey map[string]report.Result
+	hostHint   map[string]float64
+}
+
+func indexPrior(rows []report.SidecarRow) *priorIndex {
+	p := &priorIndex{
+		byCacheKey: make(map[string]report.Result),
+		hostHint:   make(map[string]float64),
+	}
+	// In file order, so later rows (a resumed sweep appending to its
+	// predecessor's sidecar) supersede earlier ones.
+	for _, row := range rows {
+		if row.Result.Error != "" {
+			continue
+		}
+		p.byCacheKey[row.CacheKey] = row.Result
+		p.hostHint[row.Result.Key()] = row.Result.HostSec
+	}
+	return p
+}
+
+// lookup returns the reusable prior result for a content address.
+func (p *priorIndex) lookup(cacheKey string) (report.Result, bool) {
+	r, ok := p.byCacheKey[cacheKey]
+	return r, ok
+}

@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -23,9 +24,14 @@ import (
 // Options tunes a sweep.
 type Options struct {
 	// Workers bounds the number of cells simulated concurrently.
-	// Defaults to GOMAXPROCS. Results are independent of the value: each
-	// cell owns its simulator, and the result set is ordered by the
-	// spec's enumeration order, not by completion order.
+	// Defaults to GOMAXPROCS, and values above the host's available
+	// parallelism are capped to it: a simulated cell is a busy CPU-bound
+	// event loop, so oversubscribing the sim phase cannot add progress —
+	// it only multiplies the live heap the garbage collector must scan
+	// (measurably so once the longest-first schedule fronts the giant
+	// cells). Results are independent of the value: each cell owns its
+	// simulator, and the result set is ordered by the spec's enumeration
+	// order, not by completion order.
 	Workers int
 	// NativeWorkers bounds the number of native (chan/tcp backend) cells
 	// executed concurrently. Native cells measure wall-clock time, so
@@ -52,15 +58,45 @@ type Options struct {
 	// something. Zero keeps the jitter-free bit-reproducible behaviour.
 	Seed int64
 	// OnResult, when non-nil, observes each cell's result as it
-	// completes (completion order; serialized by the runner).
+	// completes (completion order; serialized by the runner). Results
+	// reused from Prior are delivered first, with Resumed set.
 	OnResult func(report.Result)
+	// Retries re-executes a cell whose attempt ended in an error (not a
+	// stall or non-convergence — those are measurements) up to this many
+	// extra times; the accepted result records the attempt count in
+	// Result.Attempts when it took more than one.
+	Retries int
+	// Sidecar, when non-nil, receives every executed cell's result
+	// (tagged with its content address) the moment it completes — the
+	// crash-safe JSONL stream an interrupted sweep resumes from.
+	Sidecar *report.SidecarWriter
+	// Prior holds the rows of an earlier sweep's sidecar. A cell whose
+	// content address — cell key, problem parameters, seeds, repetition
+	// count, report schema, protocol constants, native timeout — matches
+	// a valid prior row is not re-executed: the prior result is returned
+	// with Resumed set. Prior rows of matching cells whose address
+	// changed still refine the longest-expected-first schedule with their
+	// measured host time.
+	Prior []report.SidecarRow
 }
+
+// ErrPersist marks a sweep whose measurements completed but whose sidecar
+// could not record every row: the returned Set is sound, only -resume
+// coverage is incomplete. Distinguished (errors.Is) from
+// problems.ErrMutated, which taints the measurements themselves.
+var ErrPersist = errors.New("matrix: appending to sidecar failed")
 
 // Run sweeps every cell of the spec and returns the collected results in
 // enumeration order. Simulated cells run first across the worker pool;
 // native cells follow in their own phase with NativeWorkers-bounded
 // (default: serial) execution, so their wall-clock measurements are taken
-// on an otherwise quiet host.
+// on an otherwise quiet host. Within each phase cells are scheduled
+// longest-expected-first (schedule.go) so the pool never tails on one
+// giant cell; cells whose content address matches a valid Prior row are
+// not executed at all, and every executed result streams to Sidecar as it
+// completes. All problems of one Run share a read-only assembly cache
+// (problems.Cache), so the seven environments solving the same generated
+// system build it once.
 func Run(spec Spec, opt Options) (*report.Set, error) {
 	spec = spec.withDefaults()
 	cells := spec.Cells()
@@ -71,9 +107,32 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 	if reps <= 0 {
 		reps = 1
 	}
+	cache := problems.NewCache()
+	prior := indexPrior(opt.Prior)
 
+	results := make([]report.Result, len(cells))
+	var mu sync.Mutex
+	emit := func(r report.Result) {
+		if opt.OnResult != nil {
+			mu.Lock()
+			opt.OnResult(r)
+			mu.Unlock()
+		}
+	}
+
+	// Resolve each cell against the prior rows before anything runs:
+	// reused cells are answered (and observed) immediately, everything
+	// else is scheduled into its phase.
+	keys := make([]string, len(cells))
 	var simIdx, nativeIdx []int
 	for i, c := range cells {
+		keys[i] = cellCacheKey(c, spec, reps, opt.Seed, opt.Timeout)
+		if r, ok := prior.lookup(keys[i]); ok {
+			r.Resumed = true
+			results[i] = r
+			emit(r)
+			continue
+		}
 		if c.backendName() == "sim" {
 			simIdx = append(simIdx, i)
 		} else {
@@ -81,8 +140,7 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 		}
 	}
 
-	results := make([]report.Result, len(cells))
-	var mu sync.Mutex
+	var persistErr error
 	runPhase := func(idx []int, workers int) {
 		if len(idx) == 0 {
 			return
@@ -93,6 +151,7 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 		if workers > len(idx) {
 			workers = len(idx)
 		}
+		scheduleLongestFirst(idx, cells, prior)
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -100,13 +159,18 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					r := runCell(cells[i], spec, reps, opt.Seed, opt.Timeout)
+					r := runCell(cells[i], spec, reps, opt.Seed, opt.Timeout, opt.Retries, cache)
 					results[i] = r
-					if opt.OnResult != nil {
-						mu.Lock()
-						opt.OnResult(r)
-						mu.Unlock()
+					if opt.Sidecar != nil {
+						if err := opt.Sidecar.Append(keys[i], r); err != nil {
+							mu.Lock()
+							if persistErr == nil {
+								persistErr = fmt.Errorf("%w: %v", ErrPersist, err)
+							}
+							mu.Unlock()
+						}
 					}
+					emit(r)
 				}
 			}()
 		}
@@ -121,6 +185,10 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Cap at the hardware parallelism (see Options.Workers).
+	if maxp := runtime.GOMAXPROCS(0); workers > maxp {
+		workers = maxp
+	}
 	runPhase(simIdx, workers)
 	nativeWorkers := opt.NativeWorkers
 	if nativeWorkers <= 0 {
@@ -128,7 +196,19 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 	}
 	runPhase(nativeIdx, nativeWorkers)
 
-	return &report.Set{Results: results}, nil
+	// Two independent failure classes can accompany a completed result
+	// set, and both return it rather than discard hours of measurement:
+	// a persistence failure (ErrPersist — the measurements are sound but
+	// the sidecar is incomplete, so -resume coverage is lost) and a
+	// shared-system mutation caught by the end-of-sweep cache
+	// verification (problems.ErrMutated — the measurements themselves are
+	// suspect; this is the only guard for systems too large to
+	// re-checksum per retrieval). The mutation error takes precedence.
+	runErr := cache.Verify()
+	if runErr == nil {
+		runErr = persistErr
+	}
+	return &report.Set{Results: results}, runErr
 }
 
 // measurement is one repetition's outcome.
@@ -195,8 +275,25 @@ func (c Cell) backendName() string {
 	return c.Backend
 }
 
-// runCell executes one cell's repetitions and aggregates them.
-func runCell(c Cell, spec Spec, reps int, seed int64, timeout time.Duration) report.Result {
+// runCell executes one cell, retrying attempts that end in an error (a
+// deploy failure, not a stall or non-convergence — those are valid
+// measurements) up to retries extra times. The accepted result records how
+// many attempts it took when more than one.
+func runCell(c Cell, spec Spec, reps int, seed int64, timeout time.Duration, retries int, cache *problems.Cache) report.Result {
+	var out report.Result
+	for attempt := 1; ; attempt++ {
+		out = runCellAttempt(c, spec, reps, seed, timeout, cache)
+		if attempt > 1 {
+			out.Attempts = attempt
+		}
+		if out.Error == "" || attempt > retries {
+			return out
+		}
+	}
+}
+
+// runCellAttempt executes one cell's repetitions and aggregates them.
+func runCellAttempt(c Cell, spec Spec, reps int, seed int64, timeout time.Duration, cache *problems.Cache) report.Result {
 	// Without a jitter seed, only the problems with a generator-seed axis
 	// (linear, gmres, newton) have anything to perturb per repetition; the
 	// chemical simulation is then fully deterministic and extra reps would
@@ -208,47 +305,72 @@ func runCell(c Cell, spec Spec, reps int, seed int64, timeout time.Duration) rep
 	}
 	out := report.Result{
 		Env: c.Env, Mode: c.Mode.String(), Grid: c.Grid, Problem: c.Problem,
-		Procs: c.Procs, Size: c.Size, Scenario: c.scenarioName(), Backend: c.backendName(), Reps: reps,
+		Procs: c.Procs, Size: c.Size, Scenario: c.scenarioName(), Backend: c.backendName(),
 	}
 	t0 := time.Now()
 	ms := make([]measurement, 0, reps)
 	for rep := 0; rep < reps; rep++ {
-		m, err := runOnce(c, spec, rep, seed, timeout, nil)
+		m, err := runOnce(c, spec, rep, seed, timeout, nil, cache)
 		if err != nil {
-			out.Error = err.Error()
+			// Record what actually happened: how many repetitions
+			// completed, and which one failed.
+			out.Reps = rep
+			out.Error = fmt.Sprintf("rep %d of %d: %v", rep+1, reps, err)
 			out.HostSec = time.Since(t0).Seconds()
 			return out
 		}
 		ms = append(ms, m)
 	}
-	hostSec := time.Since(t0).Seconds()
+	out = aggregate(c, ms)
+	out.HostSec = time.Since(t0).Seconds()
+	return out
+}
 
-	// Median repetition (by simulated time) is the representative
-	// measurement; the fastest repetition is kept alongside, and a cell
-	// converged only if every repetition did.
+// aggregate folds a cell's repetitions into one Result. The median
+// repetition (by simulated time) provides the representative timing and
+// traffic measurement, with the fastest repetition kept alongside; the
+// outcome fields fold across *every* repetition — convergence AND-folds,
+// a stall in any repetition marks the cell stalled (OR), restarts sum,
+// and reconvergence time and message drops take the worst repetition — so
+// a bad non-median repetition can never hide behind a clean median. (The
+// degradation table reads exactly these fields; taking them from the
+// median alone used to report stalled=false on a cell whose non-median
+// repetition deadlocked.)
+func aggregate(c Cell, ms []measurement) report.Result {
 	sort.Slice(ms, func(i, j int) bool { return ms[i].timeSec < ms[j].timeSec })
-	out = ms[(len(ms)-1)/2].result(c)
-	out.Reps = reps
-	out.HostSec = hostSec
+	out := ms[(len(ms)-1)/2].result(c)
+	out.Reps = len(ms)
 	out.MinTimeSec = ms[0].timeSec
-	out.Converged = true
+	out.Converged, out.Stalled = true, false
+	out.Restarts, out.ReconvergeSec, out.Dropped = 0, 0, 0
 	for _, m := range ms {
 		out.Converged = out.Converged && m.converged
+		out.Stalled = out.Stalled || m.stalled
+		out.Restarts += m.restarts
+		if m.reconvergeSec > out.ReconvergeSec {
+			out.ReconvergeSec = m.reconvergeSec
+		}
+		if m.dropped > out.Dropped {
+			out.Dropped = m.dropped
+		}
 	}
 	return out
 }
 
 // RunCellOnce executes a single repetition of one cell — the entry point
-// for tracing a sweep cell verbatim (cmd/aiactrace): tr, when non-nil,
-// collects the execution flow and message deliveries of the run. seed
-// follows Options.Seed semantics. The returned Result reports that one
+// for running a sweep cell verbatim outside a sweep (cmd/aiactrace,
+// cmd/aiacrun): tr, when non-nil, collects the execution flow and message
+// deliveries of the run (simulated cells only). seed follows Options.Seed
+// semantics and timeout follows Options.Timeout semantics — it is the
+// wall-clock guard of a native cell (<= 0 means DefaultNativeTimeout) and
+// is ignored by simulated cells. The returned Result reports that one
 // repetition (Reps == 1).
-func RunCellOnce(c Cell, spec Spec, rep int, seed int64, tr *trace.Collector) (report.Result, error) {
+func RunCellOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector) (report.Result, error) {
 	spec = spec.withDefaults()
 	if c.backendName() != "sim" && tr != nil {
 		return report.Result{}, fmt.Errorf("tracing needs the sim backend (cell %s runs natively)", c.Key())
 	}
-	m, err := runOnce(c, spec, rep, seed, 0, tr)
+	m, err := runOnce(c, spec, rep, seed, timeout, tr, nil)
 	if err != nil {
 		return report.Result{}, err
 	}
@@ -256,10 +378,11 @@ func RunCellOnce(c Cell, spec Spec, rep int, seed int64, tr *trace.Collector) (r
 }
 
 // runOnce executes one repetition of a cell — in a fresh simulator for sim
-// cells, natively over a fresh transport otherwise.
-func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector) (measurement, error) {
+// cells, natively over a fresh transport otherwise. cache, when non-nil,
+// supplies memoized problem assembly (a nil cache builds fresh systems).
+func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector, cache *problems.Cache) (measurement, error) {
 	if c.backendName() != "sim" {
-		return runNative(c, spec, rep, seed, timeout)
+		return runNative(c, spec, rep, seed, timeout, cache)
 	}
 	scen, err := scenario.ByName(c.scenarioName())
 	if err != nil {
@@ -297,15 +420,15 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 	switch c.Problem {
 	case "linear":
 		lp := spec.Linear
-		prob := problems.NewLinear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		prob := cache.Linear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
 		linearLike(prob, prob.XTrue, lp.Eps, lp.MaxIters)
 	case "gmres":
 		lp := spec.Linear
-		prob := problems.NewLinearGMRES(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		prob := cache.LinearGMRES(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
 		linearLike(prob, prob.XTrue, lp.Eps, lp.MaxIters)
 	case "newton":
 		np := spec.Newton
-		prob := problems.NewReaction(c.Size, np.C, np.Seed+int64(rep))
+		prob := cache.Reaction(c.Size, np.C, np.Seed+int64(rep))
 		linearLike(prob, prob.XTrue, np.Eps, np.MaxIters)
 	case "chem":
 		cp := spec.Chem
@@ -360,7 +483,7 @@ const DefaultNativeTimeout = 2 * time.Minute
 // wall-clock time (internal/backend). The repetition perturbs the problem
 // seed exactly like a simulated repetition; every committed problem runs,
 // the chemical one as its per-time-step loop over fresh transports.
-func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration) (measurement, error) {
+func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, cache *problems.Cache) (measurement, error) {
 	if !backend.NativeScenario(c.scenarioName()) {
 		return measurement{}, fmt.Errorf("scenario %q has no native analogue", c.Scenario)
 	}
@@ -411,7 +534,7 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration) (m
 	switch c.Problem {
 	case "linear":
 		lp := spec.Linear
-		prob := problems.NewLinear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		prob := cache.Linear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
 		rpt, err := solve(prob, lp.Eps, lp.MaxIters)
 		if err != nil {
 			return measurement{}, err
@@ -419,7 +542,7 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration) (m
 		fold(&m, rpt, prob.XTrue)
 	case "gmres":
 		lp := spec.Linear
-		prob := problems.NewLinearGMRES(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		prob := cache.LinearGMRES(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
 		rpt, err := solve(prob, lp.Eps, lp.MaxIters)
 		if err != nil {
 			return measurement{}, err
@@ -427,7 +550,7 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration) (m
 		fold(&m, rpt, prob.XTrue)
 	case "newton":
 		np := spec.Newton
-		prob := problems.NewReaction(c.Size, np.C, np.Seed+int64(rep))
+		prob := cache.Reaction(c.Size, np.C, np.Seed+int64(rep))
 		rpt, err := solve(prob, np.Eps, np.MaxIters)
 		if err != nil {
 			return measurement{}, err

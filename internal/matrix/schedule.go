@@ -1,0 +1,59 @@
+package matrix
+
+import (
+	"sort"
+
+	"aiac/internal/aiac"
+)
+
+// Makespan-aware scheduling: a sweep's wall time is bounded below by its
+// longest cell, and a worker pool that starts that cell last tails on it
+// while every other worker idles. Run therefore feeds each phase's cells
+// to the pool longest-expected-first, so the giant cells (the asynchronous
+// ADSL solves, whose fast ranks spin through millions of iterations)
+// start immediately and the short local-grid cells pack into the gaps.
+// The result set is still assembled in enumeration order, so scheduling
+// never changes output, only wall time.
+
+// expectedCost estimates a cell's host cost for scheduling, in rough host
+// seconds. A measured HostSec from a prior sidecar row of the same cell —
+// the refinement available when resuming or extending a sweep — beats the
+// heuristic; otherwise the estimate is procs×size scaled by how expensive
+// the cell's grid, mode and environment are to simulate (weights read off
+// the committed default-sweep baseline: the ADSL uplink forces millions of
+// asynchronous iterations, and the threaded middlewares pm2/omniorb cost
+// far more simulator events per exchange than mpi/madmpi).
+func expectedCost(c Cell, prior *priorIndex) float64 {
+	if h, ok := prior.hostHint[c.Key()]; ok && h > 0 {
+		return h
+	}
+	cost := float64(c.Procs) * float64(c.Size) * 3e-5
+	switch c.Grid {
+	case "adsl":
+		cost *= 40
+	case "3site":
+		cost *= 10
+	case "multiproto":
+		cost *= 2
+	}
+	if c.Mode == aiac.Async {
+		cost *= 3
+	}
+	if c.backendName() == "sim" {
+		switch c.Env {
+		case "pm2", "omniorb":
+			cost *= 8
+		}
+	}
+	return cost
+}
+
+// scheduleLongestFirst orders the phase's cell indices by descending
+// expected cost, stably, so equal-cost cells keep their enumeration order.
+func scheduleLongestFirst(idx []int, cells []Cell, prior *priorIndex) {
+	cost := make(map[int]float64, len(idx))
+	for _, i := range idx {
+		cost[i] = expectedCost(cells[i], prior)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return cost[idx[a]] > cost[idx[b]] })
+}

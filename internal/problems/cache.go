@@ -1,0 +1,275 @@
+package problems
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"aiac/internal/sparse"
+)
+
+// Cache memoizes problem assembly so a sweep builds each test system once
+// and shares it read-only across every environment, grid and backend that
+// solves it. Without it, an experiment-matrix sweep regenerates the
+// identical sparse linear system (or manufactured reaction system) once
+// per cell — seven times per grid for the default matrix — which at
+// paper-scale sizes (Table 1: n = 2,000,000 with 30 sub-diagonals, ~0.5 GB
+// per system) is the dominant redundant cost and memory load of the sim
+// phase.
+//
+// Sharing is sound because every solver in this repository treats the
+// assembled data as immutable: sparse.DIA's kernels (RowRangeMulVec,
+// GradientStep, MulVec) read the matrix and right-hand side and write only
+// the iterate and caller-owned scratch, Reaction's EvalG/ApplyJ read F,
+// and the per-run mutable state (scratch buffers, strip solvers, Weights)
+// lives on the per-call problem structs, never on the shared arrays. The
+// cache enforces the contract at runtime: every entry is checksummed when
+// built, re-verified on every retrieval while small enough for that to be
+// free (verifyOnHitLimit), and re-verified in full by Verify at the end
+// of a sweep — so code that mutates a shared system panics at the next
+// cache hit (or fails the sweep) instead of silently corrupting
+// concurrent cells.
+//
+// Entries are never evicted: they live until the Cache itself is dropped
+// (one sweep, in matrix.Run), because the end-of-sweep Verify needs them
+// and any later cell may still hit them. A sweep mixing many sizes ×
+// repetitions at paper scale therefore pins every distinct system at once
+// (~0.5 GB each at n = 2,000,000) and should budget memory accordingly —
+// the default matrix holds exactly one.
+//
+// A nil *Cache is valid and simply builds fresh systems on every call —
+// the uncached constructors (NewLinear, NewLinearGMRES, NewReaction) are
+// thin wrappers over it.
+type Cache struct {
+	mu     sync.Mutex
+	linear map[linearKey]*linearEntry
+	react  map[reactKey]*reactEntry
+	hits   int
+	misses int
+}
+
+// ErrMutated marks an integrity failure of the cache: a solver wrote to
+// shared read-only problem data. Callers distinguish it (errors.Is) from
+// operational errors because it taints the sweep's measurements, not just
+// its bookkeeping.
+var ErrMutated = errors.New("shared problem data was mutated")
+
+// NewCache returns an empty problem cache.
+func NewCache() *Cache {
+	return &Cache{
+		linear: make(map[linearKey]*linearEntry),
+		react:  make(map[reactKey]*reactEntry),
+	}
+}
+
+// linearKey identifies one generated sparse system: the full parameter set
+// of sparse.NewSystem, so entries can never alias across sizes, band
+// counts, dominance ratios, or seeds (and therefore never across
+// repetitions, which perturb the seed).
+type linearKey struct {
+	n, diags int
+	rho      float64
+	seed     int64
+}
+
+type linearEntry struct {
+	once  sync.Once
+	a     *sparse.DIA
+	b     []float64
+	xtrue []float64
+	sum   uint64
+	elems int
+}
+
+// reactKey identifies one manufactured reaction system (NewReaction's
+// parameter set).
+type reactKey struct {
+	n    int
+	c    float64
+	seed int64
+}
+
+type reactEntry struct {
+	once  sync.Once
+	f     []float64
+	xtrue []float64
+	sum   uint64
+}
+
+func (e *reactEntry) checksum() uint64 {
+	return sumFloats(sumFloats(sumInit, e.f), e.xtrue)
+}
+
+// Stats reports how many retrievals hit an already-built entry and how
+// many built one.
+func (c *Cache) Stats() (hits, misses int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// verifyOnHitLimit bounds the entry size (in stored float64s) that is
+// re-checksummed on every retrieval. A full pass over a paper-scale
+// system (n=2,000,000 × 30 diagonals ≈ 60M floats) would cost a
+// significant fraction of the assembly time it saves, per hit — such
+// entries are verified once per sweep instead (Verify, called by
+// matrix.Run when the sweep finishes).
+const verifyOnHitLimit = 1 << 22
+
+// sharedSystem returns the memoized (A, b, xTrue) for the key, building it
+// on first use. Retrieving a small entry re-verifies its checksum and
+// panics on a mismatch: a mutated shared system would corrupt every
+// concurrent cell reading it, so failing loudly at the cache boundary is
+// the only safe response. Entries above verifyOnHitLimit are checked by
+// Verify instead.
+func (c *Cache) sharedSystem(n, diags int, rho float64, seed int64) (*sparse.DIA, []float64, []float64) {
+	if c == nil {
+		return sparse.NewSystem(n, diags, rho, seed)
+	}
+	k := linearKey{n: n, diags: diags, rho: rho, seed: seed}
+	c.mu.Lock()
+	e := c.linear[k]
+	if e == nil {
+		e = &linearEntry{}
+		c.linear[k] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.a, e.b, e.xtrue = sparse.NewSystem(n, diags, rho, seed)
+		e.elems = len(e.b) + len(e.xtrue)
+		for _, d := range e.a.Diags {
+			e.elems += len(d)
+		}
+		e.sum = e.checksum()
+	})
+	if e.elems <= verifyOnHitLimit {
+		if got := e.checksum(); got != e.sum {
+			panic(fmt.Sprintf("problems: cached sparse system (n=%d diags=%d rho=%g seed=%d) was mutated: a solver wrote to shared read-only data", n, diags, rho, seed))
+		}
+	}
+	return e.a, e.b, e.xtrue
+}
+
+// Verify re-checksums every cached entry — including the ones too large
+// to check per retrieval — and reports the first mutation found. A sweep
+// calls it once at the end, so even at paper scale a solver that wrote to
+// shared data cannot go unnoticed.
+func (c *Cache) Verify() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.linear {
+		if e.a == nil {
+			continue // never built
+		}
+		if e.checksum() != e.sum {
+			return fmt.Errorf("problems: cached sparse system (n=%d diags=%d rho=%g seed=%d): %w", k.n, k.diags, k.rho, k.seed, ErrMutated)
+		}
+	}
+	for k, e := range c.react {
+		if e.f == nil {
+			continue
+		}
+		if e.checksum() != e.sum {
+			return fmt.Errorf("problems: cached reaction system (n=%d c=%g seed=%d): %w", k.n, k.c, k.seed, ErrMutated)
+		}
+	}
+	return nil
+}
+
+func (e *linearEntry) checksum() uint64 {
+	sum := sumInit
+	for _, o := range e.a.Offsets {
+		sum = sumMix(sum, uint64(int64(o)))
+	}
+	for _, d := range e.a.Diags {
+		sum = sumFloats(sum, d)
+	}
+	sum = sumFloats(sum, e.b)
+	sum = sumFloats(sum, e.xtrue)
+	return sum
+}
+
+// sharedReaction returns the memoized (forcing, manufactured solution) of
+// the reaction problem, with the same build-once/verify-on-retrieval
+// behaviour as sharedSystem.
+func (c *Cache) sharedReaction(n int, cc float64, seed int64) (f, xtrue []float64) {
+	if c == nil {
+		return buildReaction(n, cc, seed)
+	}
+	k := reactKey{n: n, c: cc, seed: seed}
+	c.mu.Lock()
+	e := c.react[k]
+	if e == nil {
+		e = &reactEntry{}
+		c.react[k] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.f, e.xtrue = buildReaction(n, cc, seed)
+		e.sum = e.checksum()
+	})
+	if len(e.f)+len(e.xtrue) <= verifyOnHitLimit {
+		if got := e.checksum(); got != e.sum {
+			panic(fmt.Sprintf("problems: cached reaction system (n=%d c=%g seed=%d) was mutated: a solver wrote to shared read-only data", n, cc, seed))
+		}
+	}
+	return e.f, e.xtrue
+}
+
+// Linear returns the sparse linear problem over the memoized test system:
+// the matrix, right-hand side and true solution are shared read-only; the
+// returned struct (iteration state, scratch, weights) is fresh per call.
+func (c *Cache) Linear(n, numDiags int, rho float64, seed int64) *Linear {
+	a, b, xt := c.sharedSystem(n, numDiags, rho, seed)
+	return &Linear{A: a, B: b, XTrue: xt, Gamma: 1.0}
+}
+
+// LinearGMRES returns the block-GMRES multisplitting problem over the
+// memoized test system (the same entry Linear shares: the two variants
+// iterate the identical matrix).
+func (c *Cache) LinearGMRES(n, numDiags int, rho float64, seed int64) *LinearGMRES {
+	a, b, xt := c.sharedSystem(n, numDiags, rho, seed)
+	return &LinearGMRES{
+		A: a, B: b, XTrue: xt,
+		Gmres: defaultGMRESBlockParams,
+	}
+}
+
+// Reaction returns the strip-Newton reaction problem over the memoized
+// manufactured system.
+func (c *Cache) Reaction(n int, cc float64, seed int64) *Reaction {
+	f, xt := c.sharedReaction(n, cc, seed)
+	return newReactionAround(n, cc, f, xt)
+}
+
+// Checksumming: word-level FNV-1a over the float bit patterns (and offset
+// values), order-sensitive. Not cryptographic — it only needs to catch
+// accidental in-place mutation of a shared system.
+const (
+	sumInit  uint64 = 14695981039346656037
+	sumPrime uint64 = 1099511628211
+)
+
+func sumMix(sum, w uint64) uint64 {
+	return (sum ^ w) * sumPrime
+}
+
+func sumFloats(sum uint64, xs []float64) uint64 {
+	for _, x := range xs {
+		sum = sumMix(sum, math.Float64bits(x))
+	}
+	return sum
+}

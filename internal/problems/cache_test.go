@@ -1,0 +1,193 @@
+package problems
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One cache entry per parameter set, shared by every retrieval — and by
+// both linear variants, which iterate the identical generated system.
+func TestCacheSharesAssembly(t *testing.T) {
+	c := NewCache()
+	l1 := c.Linear(500, 6, 0.8, 7)
+	l2 := c.Linear(500, 6, 0.8, 7)
+	if l1 == l2 {
+		t.Fatal("cache must return fresh problem structs (they carry per-run state)")
+	}
+	if l1.A != l2.A || &l1.B[0] != &l2.B[0] || &l1.XTrue[0] != &l2.XTrue[0] {
+		t.Error("same key must share the assembled system")
+	}
+	g := c.LinearGMRES(500, 6, 0.8, 7)
+	if g.A != l1.A {
+		t.Error("the GMRES variant must share the linear variant's system (same matrix)")
+	}
+	r1 := c.Reaction(400, 1, 7)
+	r2 := c.Reaction(400, 1, 7)
+	if &r1.F[0] != &r2.F[0] || &r1.XTrue[0] != &r2.XTrue[0] {
+		t.Error("same reaction key must share the manufactured data")
+	}
+	hits, misses := c.Stats()
+	if misses != 2 || hits != 3 {
+		t.Errorf("Stats = %d hits, %d misses; want 3 and 2", hits, misses)
+	}
+}
+
+// Cache keys cover the full parameter set, so entries can never alias
+// across seeds (and therefore never across repetitions, which perturb the
+// seed), sizes, band counts, or dominance ratios.
+func TestCacheNeverAliasesAcrossSeeds(t *testing.T) {
+	c := NewCache()
+	base := c.Linear(500, 6, 0.8, 7)
+	for _, tc := range []struct {
+		name  string
+		other *Linear
+	}{
+		{"seed", c.Linear(500, 6, 0.8, 8)},
+		{"size", c.Linear(600, 6, 0.8, 7)},
+		{"diags", c.Linear(500, 7, 0.8, 7)},
+		{"rho", c.Linear(500, 6, 0.85, 7)},
+	} {
+		if tc.other.A == base.A {
+			t.Errorf("different %s must not share a cache entry", tc.name)
+		}
+	}
+	// Different seeds generate genuinely different systems (repetition r
+	// solving seed+r must measure a distinct run).
+	other := c.Linear(500, 6, 0.8, 8)
+	same := true
+	for i := range base.B {
+		if base.B[i] != other.B[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("systems for different seeds are identical")
+	}
+	ra, rb := c.Reaction(400, 1, 7), c.Reaction(400, 1, 8)
+	if &ra.F[0] == &rb.F[0] || ra.XTrue[10] == rb.XTrue[10] {
+		t.Error("reaction systems for different seeds must differ")
+	}
+}
+
+// Mutating a cached system must panic at the next retrieval: shared
+// assembly is read-only by contract, and silent corruption would poison
+// every concurrent cell.
+func TestCacheDetectsMutation(t *testing.T) {
+	c := NewCache()
+	l := c.Linear(500, 6, 0.8, 7)
+	l.A.Diags[0][3] += 1e-9
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("retrieving a mutated cached system must panic")
+		}
+		if !strings.Contains(r.(string), "mutated") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c.Linear(500, 6, 0.8, 7)
+}
+
+func TestCacheDetectsReactionMutation(t *testing.T) {
+	c := NewCache()
+	r := c.Reaction(400, 1, 7)
+	r.F[5] = 42
+	defer func() {
+		if recover() == nil {
+			t.Fatal("retrieving a mutated cached reaction system must panic")
+		}
+	}()
+	c.Reaction(400, 1, 7)
+}
+
+// Verify is the end-of-sweep integrity pass: it must pass on a clean
+// cache and report mutations — including in entries above the
+// per-retrieval verification limit, which it is the only guard for.
+func TestCacheVerify(t *testing.T) {
+	c := NewCache()
+	l := c.Linear(500, 6, 0.8, 7)
+	r := c.Reaction(400, 1, 7)
+	if err := c.Verify(); err != nil {
+		t.Fatalf("clean cache failed Verify: %v", err)
+	}
+	l.A.Diags[1][7] *= 2
+	if err := c.Verify(); err == nil || !strings.Contains(err.Error(), "mutated") {
+		t.Fatalf("Verify missed a matrix mutation: %v", err)
+	}
+	l.A.Diags[1][7] /= 2
+	if err := c.Verify(); err != nil {
+		t.Fatalf("restored cache failed Verify: %v", err)
+	}
+	r.XTrue[3] = -r.XTrue[3]
+	if err := c.Verify(); err == nil {
+		t.Fatal("Verify missed a reaction mutation")
+	}
+	var nilCache *Cache
+	if err := nilCache.Verify(); err != nil {
+		t.Fatalf("nil cache Verify: %v", err)
+	}
+}
+
+// A nil cache is the uncached mode: fresh assembly every call (the
+// behaviour of the plain constructors, which delegate to it).
+func TestNilCacheBuildsFresh(t *testing.T) {
+	var c *Cache
+	l1, l2 := c.Linear(500, 6, 0.8, 7), c.Linear(500, 6, 0.8, 7)
+	if l1.A == l2.A {
+		t.Error("nil cache must not share assembly")
+	}
+	if l1.B[3] != l2.B[3] || l1.A.Diags[0][3] != l2.A.Diags[0][3] {
+		t.Error("nil-cache builds must still be deterministic per seed")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("nil cache has no stats")
+	}
+}
+
+// Cached and uncached construction must produce identical systems — the
+// cache is a pure memoization, invisible in every measurement.
+func TestCacheMatchesUncached(t *testing.T) {
+	c := NewCache()
+	cached, fresh := c.Linear(500, 6, 0.8, 7), NewLinear(500, 6, 0.8, 7)
+	if len(cached.B) != len(fresh.B) {
+		t.Fatal("size mismatch")
+	}
+	for i := range cached.B {
+		if cached.B[i] != fresh.B[i] || cached.XTrue[i] != fresh.XTrue[i] {
+			t.Fatal("cached and uncached systems differ")
+		}
+	}
+	cr, fr := c.Reaction(400, 1, 7), NewReaction(400, 1, 7)
+	for i := range cr.F {
+		if cr.F[i] != fr.F[i] || cr.XTrue[i] != fr.XTrue[i] {
+			t.Fatal("cached and uncached reaction systems differ")
+		}
+	}
+}
+
+// Concurrent retrievals of one key build the entry exactly once and all
+// see the same arrays (run under -race in CI).
+func TestCacheConcurrentRetrieval(t *testing.T) {
+	c := NewCache()
+	const n = 16
+	probs := make([]*Linear, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			probs[i] = c.Linear(500, 6, 0.8, 7)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if probs[i].A != probs[0].A {
+			t.Fatal("concurrent retrievals saw different entries")
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Fatalf("built %d entries for one key", misses)
+	}
+}

@@ -46,12 +46,12 @@ type gmresScratch struct {
 // NewLinearGMRES generates the same test system as NewLinear (size, band
 // count, dominance ratio, seed) iterated by block-GMRES multisplitting.
 func NewLinearGMRES(n, numDiags int, rho float64, seed int64) *LinearGMRES {
-	a, b, xt := sparse.NewSystem(n, numDiags, rho, seed)
-	return &LinearGMRES{
-		A: a, B: b, XTrue: xt,
-		Gmres: gmres.Params{Tol: 1e-12, Restart: 30, MaxIters: 2000},
-	}
+	return (*Cache)(nil).LinearGMRES(n, numDiags, rho, seed)
 }
+
+// defaultGMRESBlockParams tunes the inner block solves (see the Gmres
+// field's comment for why the tolerance sits near machine precision).
+var defaultGMRESBlockParams = gmres.Params{Tol: 1e-12, Restart: 30, MaxIters: 2000}
 
 // Name implements aiac.Problem.
 func (l *LinearGMRES) Name() string { return fmt.Sprintf("linear-gmres-n%d", l.A.N) }

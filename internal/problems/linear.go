@@ -44,8 +44,7 @@ type Linear struct {
 // (Table 1 uses n = 2,000,000 with 30 sub-diagonals; experiments here
 // default to a scaled-down size, see DESIGN.md).
 func NewLinear(n, numDiags int, rho float64, seed int64) *Linear {
-	a, b, xt := sparse.NewSystem(n, numDiags, rho, seed)
-	return &Linear{A: a, B: b, XTrue: xt, Gamma: 1.0}
+	return (*Cache)(nil).Linear(n, numDiags, rho, seed)
 }
 
 // Name implements aiac.Problem.

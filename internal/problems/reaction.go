@@ -43,13 +43,17 @@ type Reaction struct {
 // The seed perturbs the manufactured solution (amplitudes and phases of its
 // Fourier components), so repetitions solve genuinely distinct systems.
 func NewReaction(n int, c float64, seed int64) *Reaction {
+	return (*Cache)(nil).Reaction(n, c, seed)
+}
+
+// buildReaction generates the manufactured data of the problem — the
+// assembly step a Cache shares across runs. The forcing and the solution
+// are treated as immutable once returned.
+func buildReaction(n int, c float64, seed int64) (f, xtrue []float64) {
 	rng := rand.New(rand.NewSource(seed))
-	r := &Reaction{
-		N: n, A: 1, C: c,
-		F:     make([]float64, n),
-		XTrue: make([]float64, n),
-		Gmres: gmres.Params{Tol: 1e-6, Restart: 20, MaxIters: 200},
-	}
+	f = make([]float64, n)
+	xtrue = make([]float64, n)
+	const a = 1.0 // diffusion coefficient, matching newReactionAround
 	a1 := 0.8 + 0.4*rng.Float64()
 	a2 := 0.2 + 0.2*rng.Float64()
 	p1 := 2 * math.Pi * rng.Float64()
@@ -57,21 +61,37 @@ func NewReaction(n int, c float64, seed int64) *Reaction {
 	for i := 0; i < n; i++ {
 		t := float64(i+1) / float64(n+1)
 		// Vanishes at both ends, matching the Dirichlet boundary.
-		r.XTrue[i] = math.Sin(math.Pi*t) * (a1*math.Sin(2*math.Pi*t+p1) + a2*math.Sin(6*math.Pi*t+p2))
+		xtrue[i] = math.Sin(math.Pi*t) * (a1*math.Sin(2*math.Pi*t+p1) + a2*math.Sin(6*math.Pi*t+p2))
 	}
 	for i := 0; i < n; i++ {
-		r.F[i] = r.A*(2*r.XTrue[i]-r.at(r.XTrue, i-1)-r.at(r.XTrue, i+1)) + r.C*math.Sinh(r.XTrue[i])
+		f[i] = a*(2*xtrue[i]-dirichletAt(xtrue, i-1)-dirichletAt(xtrue, i+1)) + c*math.Sinh(xtrue[i])
 	}
-	return r
+	return f, xtrue
 }
 
-// at reads y_i with the homogeneous Dirichlet boundary.
-func (r *Reaction) at(y []float64, i int) float64 {
-	if i < 0 || i >= r.N {
+// dirichletAt reads y_i under the homogeneous Dirichlet boundary — the
+// single definition of the boundary treatment, used by both the forcing
+// assembly and the operator evaluations so they can never diverge.
+func dirichletAt(y []float64, i int) float64 {
+	if i < 0 || i >= len(y) {
 		return 0
 	}
 	return y[i]
 }
+
+// newReactionAround wraps (possibly shared) manufactured data in a fresh
+// problem struct carrying the per-run mutable state.
+func newReactionAround(n int, c float64, f, xtrue []float64) *Reaction {
+	return &Reaction{
+		N: n, A: 1, C: c,
+		F:     f,
+		XTrue: xtrue,
+		Gmres: gmres.Params{Tol: 1e-6, Restart: 20, MaxIters: 200},
+	}
+}
+
+// at reads y_i with the homogeneous Dirichlet boundary.
+func (r *Reaction) at(y []float64, i int) float64 { return dirichletAt(y, i) }
 
 // Name implements aiac.Problem.
 func (r *Reaction) Name() string { return fmt.Sprintf("reaction-n%d", r.N) }

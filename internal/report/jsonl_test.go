@@ -1,0 +1,143 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleResult(env string, t float64) Result {
+	return Result{
+		Env: env, Mode: "async", Grid: "local", Problem: "linear",
+		Procs: 4, Size: 1000, Reps: 1, TimeSec: t, MinTimeSec: t,
+		Iters: 100, Messages: 10, Bytes: 1000, Converged: true, HostSec: 0.5,
+	}
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	w, err := CreateSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("key-a", sampleResult("pm2", 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("key-b", sampleResult("madmpi", 2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].CacheKey != "key-a" || rows[0].Result != sampleResult("pm2", 1.5) {
+		t.Errorf("row 0 did not round-trip: %+v", rows[0])
+	}
+	if rows[1].CacheKey != "key-b" || rows[1].Result.Env != "madmpi" {
+		t.Errorf("row 1 did not round-trip: %+v", rows[1])
+	}
+}
+
+// A sidecar whose writer was killed mid-append ends in a truncated line;
+// reading it must return every complete row and drop the ruin.
+func TestSidecarTruncatedTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	w, err := CreateSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("key-a", sampleResult("pm2", 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"cache_key":"key-b","result":{"env":"mad`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rows, err := ReadSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].CacheKey != "key-a" {
+		t.Fatalf("truncated sidecar read %d rows (%+v), want the 1 complete row", len(rows), rows)
+	}
+}
+
+// Appending after a crash (AppendSidecar) extends the file; the reader
+// returns rows in write order so later rows can supersede earlier ones.
+func TestSidecarAppendAndOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	w, err := CreateSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("key-a", sampleResult("pm2", 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, err := AppendSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append("key-a", sampleResult("pm2", 9.5)); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	rows, err := ReadSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[1].Result.TimeSec != 9.5 {
+		t.Errorf("append order lost: %+v", rows)
+	}
+}
+
+// The Resumed marker is runtime-only: it must never reach the persisted
+// row, so a resumed sweep's output is indistinguishable from a fresh one.
+func TestSidecarNeverPersistsResumed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	w, err := CreateSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sampleResult("pm2", 1.5)
+	r.Resumed = true
+	if err := w.Append("key-a", r); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "esumed") {
+		t.Fatalf("Resumed leaked into the persisted row: %s", b)
+	}
+	rows, err := ReadSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Result.Resumed {
+		t.Error("Resumed must not round-trip")
+	}
+}
+
+func TestReadSidecarMissingFile(t *testing.T) {
+	if _, err := ReadSidecar(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("reading a missing sidecar should fail loudly (a typo'd -resume must not silently restart the sweep)")
+	}
+}

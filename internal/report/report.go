@@ -102,9 +102,20 @@ type Result struct {
 	// HostSec is the host wall time spent simulating this cell (all
 	// repetitions). Not compared across runs.
 	HostSec float64 `json:"host_sec"`
+	// Attempts counts how many executions of the cell it took to produce
+	// this result (per-cell retry-on-error, matrix.Options.Retries).
+	// Omitted when the first attempt was accepted.
+	Attempts int `json:"attempts,omitempty"`
 	// Error, when non-empty, explains why the cell produced no
 	// measurement (e.g. the environment refused to deploy on the grid).
+	// When repetitions were requested, it names the repetition that
+	// failed; Reps then records how many actually completed.
 	Error string `json:"error,omitempty"`
+	// Resumed marks a result reused from an earlier sweep's JSONL sidecar
+	// rather than executed by this run. Runtime-only: never persisted, so
+	// a resumed sweep's result file is indistinguishable from an
+	// uninterrupted run's.
+	Resumed bool `json:"-"`
 }
 
 // ScenarioOrStatic returns the cell's scenario, normalising the empty

@@ -35,6 +35,13 @@ type DIA struct {
 // The right-hand side is chosen so the exact solution is known
 // (x*_i = 1 + i mod 3), letting tests verify convergence to the true
 // solution, not merely stagnation.
+//
+// The returned matrix and vectors are immutable by convention: every
+// solver in this repository only reads them (the kernels below write
+// exclusively into caller-owned destination and scratch slices), which is
+// what lets problems.Cache share one assembled system read-only across
+// concurrent experiment cells. Code that needs a modified system must
+// build its own.
 func NewSystem(n, numDiags int, rho float64, seed int64) (*DIA, []float64, []float64) {
 	if n < 2 || numDiags < 1 || numDiags >= n {
 		panic(fmt.Sprintf("sparse: bad system shape n=%d numDiags=%d", n, numDiags))
