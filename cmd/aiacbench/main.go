@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -73,7 +74,7 @@ func main() {
 		procsF    = flag.String("procs", "", "processor counts (csv; empty = 8)")
 		sizesF    = flag.String("n", "", "problem sizes (csv; empty = per-problem default)")
 		scenarioF = flag.String("scenario", "", "grid-dynamics scenario filter (csv of "+strings.Join(matrix.ScenarioNames, ", ")+"; empty = static)")
-		backendF  = flag.String("backend", "", "execution-backend filter (csv of sim, chan, tcp; empty = sim; native backends run wall-clock cells serially after the simulated pool)")
+		backendF  = flag.String("backend", "", "execution-backend filter (csv of sim, sim-fast, chan, tcp; empty = sim; sim-fast is the same simulation on the continuation engine; native backends run wall-clock cells serially after the simulated pool)")
 		timeout   = flag.Duration("timeout", matrix.DefaultNativeTimeout, "wall-clock guard per native cell: a longer-running cell is cancelled and reported as STALL")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "cells simulated concurrently")
 		reps      = flag.Int("reps", 1, "repetitions per cell (median/min aggregation)")
@@ -154,10 +155,11 @@ func main() {
 	// sidecar. With -resume, prior rows are reused and new rows extend the
 	// same file; otherwise a fresh sidecar is derived from -o.
 	var prior []report.SidecarRow
+	var priorStats report.SidecarStats
 	var sidecar *report.SidecarWriter
 	sidecarPath := ""
 	if *resume != "" {
-		if prior, err = report.ReadSidecar(*resume); err != nil {
+		if prior, priorStats, err = report.ReadSidecarWithStats(*resume); err != nil {
 			fmt.Fprintf(os.Stderr, "reading -resume sidecar: %v\n", err)
 			os.Exit(2)
 		}
@@ -187,6 +189,9 @@ func main() {
 	fmt.Printf("sweeping %d cells with %d workers, %d rep(s) per cell\n", len(cells), *workers, *reps)
 	if sidecarPath != "" {
 		fmt.Printf("streaming completed cells to %s\n", sidecarPath)
+	}
+	if *resume != "" {
+		printResumeSkips(spec, prior, priorStats, *reps, *seed, *timeout)
 	}
 	fmt.Println()
 
@@ -291,6 +296,41 @@ func main() {
 	if sweepDegraded {
 		os.Exit(1)
 	}
+}
+
+// printResumeSkips reports the per-reason histogram of prior sidecar rows
+// this sweep cannot reuse — unreadable lines first (truncated tail,
+// foreign content), then valid rows whose content address diverged
+// (matrix.ResumeSkips) — so a resume that re-runs cells says why instead
+// of silently sweeping.
+func printResumeSkips(spec matrix.Spec, prior []report.SidecarRow, stats report.SidecarStats, reps int, seed int64, timeout time.Duration) {
+	skips := matrix.ResumeSkips(spec, prior, reps, seed, timeout)
+	if stats.Truncated > 0 {
+		skips["truncated-tail"] += stats.Truncated
+	}
+	if stats.Garbage > 0 {
+		skips["unparseable"] += stats.Garbage
+	}
+	if len(skips) == 0 {
+		return
+	}
+	reasons := make([]string, 0, len(skips))
+	for r := range skips {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool {
+		if skips[reasons[i]] != skips[reasons[j]] {
+			return skips[reasons[i]] > skips[reasons[j]]
+		}
+		return reasons[i] < reasons[j]
+	})
+	total := 0
+	parts := make([]string, 0, len(reasons))
+	for _, r := range reasons {
+		total += skips[r]
+		parts = append(parts, fmt.Sprintf("%s=%d", r, skips[r]))
+	}
+	fmt.Printf("resume: skipping %d sidecar row(s): %s\n", total, strings.Join(parts, " "))
 }
 
 // sidecarFor derives the JSONL sidecar path from the results file:

@@ -29,11 +29,13 @@ import (
 	"aiac/internal/aiac"
 	"aiac/internal/backend"
 	"aiac/internal/des"
+	"aiac/internal/env/envcore"
 	"aiac/internal/la"
 	"aiac/internal/matrix"
 	"aiac/internal/problems"
 	"aiac/internal/report"
 	"aiac/internal/scenario"
+	"aiac/internal/simfast"
 	"aiac/internal/trace"
 )
 
@@ -53,7 +55,7 @@ func main() {
 		balanced = flag.Bool("balanced", false, "speed-proportional row blocks")
 		gantt    = flag.Bool("gantt", false, "print the execution-flow chart")
 		scenF    = flag.String("scenario", "static", "grid-dynamics scenario (one of: static, flaky-adsl, diurnal-load, node-churn, lossy-wan; native backends run the first three)")
-		backendF = flag.String("backend", "sim", "execution backend: sim (discrete-event simulation), chan or tcp (native wall-clock run)")
+		backendF = flag.String("backend", "sim", "execution backend: sim (discrete-event simulation, goroutine engine), sim-fast (same simulation on the continuation engine), chan or tcp (native wall-clock run)")
 		timeout  = flag.Duration("timeout", matrix.DefaultNativeTimeout, "wall-clock guard of a native run: cancelled and reported as STALL beyond this")
 		list     = flag.Bool("list", false, "print the matrix cell key these flags select and exit without running (the key re-runs verbatim in aiacbench/aiactrace)")
 	)
@@ -76,7 +78,7 @@ func main() {
 			os.Exit(2)
 		}
 		env := *envName
-		if *backendF != "sim" {
+		if !matrix.SimulatedBackend(*backendF) {
 			if _, err := backend.NewTransport(*backendF, *procs); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
@@ -109,7 +111,7 @@ func main() {
 		return
 	}
 
-	if *backendF != "sim" {
+	if !matrix.SimulatedBackend(*backendF) {
 		// A native run has no simulated middleware or trace: reject the
 		// flags that would be silently ignored.
 		explicit := make(map[string]bool)
@@ -166,7 +168,14 @@ func main() {
 	if *gantt {
 		tr = trace.New()
 	}
-	env, err := matrix.NewEnv(grid, envID, true, tr)
+	fast := *backendF == "sim-fast"
+	var eopts []envcore.Opt
+	engine := problems.EngineFunc(aiac.Run)
+	if fast {
+		eopts = append(eopts, envcore.WithEventLoop())
+		engine = simfast.Run
+	}
+	env, err := matrix.NewEnv(grid, envID, true, tr, eopts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deployment failed: %v\n", err)
 		os.Exit(1)
@@ -175,7 +184,12 @@ func main() {
 	if *seed != 0 {
 		grid.Net.SetJitter(0.02, *seed)
 	}
-	rt := scenario.Deploy(scen, grid)
+	var rt *scenario.Runtime
+	if fast {
+		rt = scenario.DeployEventLoop(scen, grid)
+	} else {
+		rt = scenario.Deploy(scen, grid)
+	}
 	prob := problems.NewLinear(*n, *diags, *rho, *matseed)
 	if *balanced {
 		prob.Weights = grid.SpeedWeights()
@@ -184,7 +198,7 @@ func main() {
 
 	fmt.Printf("solving n=%d (%d diagonals, rho<%.2f) on %s with %s, %s, %d procs, scenario %s\n",
 		*n, *diags, *rho, *gridName, env.Name(), m, *procs, scen.Name)
-	rep := aiac.Run(grid, env, prob, cfg)
+	rep := engine(grid, env, prob, cfg)
 
 	fmt.Printf("\nresult:        %s\n", rep.Reason)
 	fmt.Printf("virtual time:  %v\n", rep.Elapsed)

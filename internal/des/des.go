@@ -134,6 +134,10 @@ func (s *Simulator) activate(p *Proc) {
 	if p.done {
 		return
 	}
+	if p.resume == nil {
+		s.activateTask(p)
+		return
+	}
 	s.running = p
 	p.resume <- struct{}{}
 	<-s.yielded
@@ -221,6 +225,11 @@ type Proc struct {
 	// blocked in Chan.Recv when a sender arrived.
 	recvSlot any
 	hasSlot  bool
+
+	// k is the pending continuation of a continuation-backed process
+	// (SpawnTask); nil while the task is running or finished. Goroutine
+	// processes never use it. See task.go.
+	k func()
 }
 
 // ID returns the process id (1-based, in spawn order).

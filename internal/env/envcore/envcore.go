@@ -136,6 +136,24 @@ type Options struct {
 	SocketBufBytes int
 	// Trace, when non-nil, records message deliveries.
 	Trace *trace.Collector
+	// EventLoop runs the environment's middleware threads as
+	// continuation-backed tasks (des.SpawnTask) instead of goroutines —
+	// the sim-fast execution mode. The cost model and event order are
+	// identical; only the host-side execution mechanism changes. See
+	// eventloop.go.
+	EventLoop bool
+}
+
+// Opt mutates an environment's Options; the concrete environments
+// (mpi, pm2, madmpi, orb) accept a trailing ...Opt so callers can toggle
+// cross-cutting switches such as WithEventLoop without each environment
+// re-exporting them.
+type Opt func(*Options)
+
+// WithEventLoop selects the goroutine-free continuation-passing execution
+// of the middleware threads (the sim-fast backend).
+func WithEventLoop() Opt {
+	return func(o *Options) { o.EventLoop = true }
 }
 
 // Env is a middleware environment instantiated over a grid. It implements
@@ -169,7 +187,11 @@ func New(grid *cluster.Grid, opts Options) (*Env, error) {
 		e.eps[r] = newEndpoint(e, r)
 	}
 	for _, ep := range e.eps {
-		ep.startThreads()
+		if opts.EventLoop {
+			ep.startTasks()
+		} else {
+			ep.startThreads()
+		}
 	}
 	return e, nil
 }
@@ -570,6 +592,14 @@ func (ep *Endpoint) Rank() int { return ep.rank }
 
 // Size implements aiac.Comm.
 func (ep *Endpoint) Size() int { return ep.env.grid.Size() }
+
+// CanSendData reports whether TrySendData for this channel would accept —
+// i.e. no previous send of the same channel is still in flight. It lets a
+// caller skip building the value snapshot for a send that would only be
+// discarded (the dominant allocation of a fast-spinning asynchronous rank).
+func (ep *Endpoint) CanSendData(key int) bool {
+	return !ep.inflight[key]
+}
 
 // TrySendData implements the paper's skip-if-busy asynchronous send.
 func (ep *Endpoint) TrySendData(p *des.Proc, o aiac.Outgoing) bool {

@@ -1,0 +1,274 @@
+package envcore
+
+import (
+	"fmt"
+
+	"aiac/internal/aiac"
+	"aiac/internal/des"
+	"aiac/internal/marcel"
+)
+
+// Event-loop execution of the middleware threads (Options.EventLoop): the
+// same send/receive machinery as startThreads, written in continuation-
+// passing style over des.SpawnTask so the per-event hot path involves no
+// goroutine and no channel rendezvous. Every suspension point below maps
+// one-to-one onto a suspension point of the goroutine loops — the same
+// Chan operations, the same CPU charges, the same Sleeps, issued in the
+// same order — so both executions allocate identical event sequence
+// numbers and the simulation is bit-identical. internal/simfast's
+// differential harness enforces that equivalence against the goroutine
+// engine on the full default matrix.
+
+// mcpu returns the rank's CPU with its concrete type, for the
+// continuation-form primitives (UseK, SpawnTask).
+func (ep *Endpoint) mcpu() *marcel.CPU {
+	return ep.env.grid.Machines[ep.rank].CPU
+}
+
+func (ep *Endpoint) chargePackK(p *des.Proc, payloadBytes int, k func()) {
+	c := ep.env.opts.Costs
+	d := c.SendCPU + des.Time(c.PackNsPerByte*float64(payloadBytes))
+	ep.mcpu().UseK(p, d, k)
+}
+
+func (ep *Endpoint) chargeUnpackK(p *des.Proc, payloadBytes int, k func()) {
+	c := ep.env.opts.Costs
+	d := c.RecvCPU + des.Time(c.UnpackNsPerByte*float64(payloadBytes))
+	ep.mcpu().UseK(p, d, k)
+}
+
+// startTasks launches the per-rank middleware threads as continuation
+// tasks — the event-loop twin of startThreads, spawning the same
+// processes in the same order.
+func (ep *Endpoint) startTasks() {
+	sim := ep.env.grid.Sim
+	for i := 0; i < ep.env.opts.SendThreads; i++ {
+		name := fmt.Sprintf("%s-send%d@%d", ep.env.opts.Name, i, ep.rank)
+		sim.SpawnTask(name, ep.sendLoopK)
+	}
+	switch ep.env.opts.RecvModel {
+	case RecvSync:
+		// No threads: SyncExchangeK drains syncData.
+	case RecvSingleThread:
+		nthreads := ep.env.opts.RecvThreads
+		if nthreads < 1 {
+			nthreads = 1
+		}
+		for i := 0; i < nthreads; i++ {
+			name := fmt.Sprintf("%s-recv%d@%d", ep.env.opts.Name, i, ep.rank)
+			sim.SpawnTask(name, ep.recvLoopK)
+		}
+	case RecvOnDemand:
+		name := fmt.Sprintf("%s-dispatch@%d", ep.env.opts.Name, ep.rank)
+		sim.SpawnTask(name, ep.dispatchLoopK)
+	}
+}
+
+// sendLoopK is the continuation form of the sending-thread loop.
+func (ep *Endpoint) sendLoopK(p *des.Proc) {
+	c := ep.env.opts.Costs
+	var loop func()
+	loop = func() {
+		ep.sendq.RecvK(p, func(v any, ok bool) {
+			if !ok {
+				return
+			}
+			w := v.(*wire)
+			ep.chargePackK(p, w.payloadBytes, func() {
+				send := func() {
+					if ep.env.opts.Backpressure && w.kind == wData &&
+						w.payloadBytes >= ep.env.opts.RendezvousBytes {
+						w.rendezvous = true
+						rtt := 2 * ep.pathLatency(w.finalTo)
+						ep.env.grid.Sim.After(rtt, func() { ep.transmit(w, w.finalTo) })
+						loop()
+						return
+					}
+					ep.transmit(w, w.finalTo)
+					loop()
+				}
+				if c.SendLatency > 0 {
+					p.SleepK(c.SendLatency, send)
+					return
+				}
+				send()
+			})
+		})
+	}
+	loop()
+}
+
+// recvLoopK is the continuation form of the single-receive-thread loop.
+func (ep *Endpoint) recvLoopK(p *des.Proc) {
+	c := ep.env.opts.Costs
+	var loop func()
+	loop = func() {
+		ep.inbox.RecvK(p, func(v any, ok bool) {
+			if !ok {
+				return
+			}
+			w := v.(*wire)
+			unpack := func() {
+				ep.chargeUnpackK(p, w.payloadBytes, func() {
+					ep.deliverData(w)
+					loop()
+				})
+			}
+			drain := func() {
+				if d := ep.socketDrain(w); d > 0 {
+					p.SleepK(d, unpack)
+					return
+				}
+				unpack()
+			}
+			if c.RecvLatency > 0 {
+				p.SleepK(c.RecvLatency, drain)
+				return
+			}
+			drain()
+		})
+	}
+	loop()
+}
+
+// dispatchLoopK is the continuation form of the on-demand dispatch loop:
+// a fresh handler task per message, so dispatch latencies overlap.
+func (ep *Endpoint) dispatchLoopK(p *des.Proc) {
+	c := ep.env.opts.Costs
+	var loop func()
+	loop = func() {
+		ep.inbox.RecvK(p, func(v any, ok bool) {
+			if !ok {
+				return
+			}
+			w := v.(*wire)
+			ep.mcpu().SpawnTask(fmt.Sprintf("%s-h@%d", ep.env.opts.Name, ep.rank), func(hp *des.Proc) {
+				unpack := func() {
+					ep.chargeUnpackK(hp, w.payloadBytes, func() {
+						ep.deliverData(w)
+					})
+				}
+				if c.RecvLatency > 0 {
+					hp.SleepK(c.RecvLatency, unpack)
+					return
+				}
+				unpack()
+			})
+			loop()
+		})
+	}
+	loop()
+}
+
+// --- continuation forms of the blocking Comm methods ---
+//
+// TrySendData, BroadcastStop, Stop, SetDataSink, SetStateSink and
+// ResetSession never block and are shared verbatim with the goroutine
+// mode; only the methods that park the calling process get K variants.
+
+// SendStateK is the continuation form of SendState.
+func (ep *Endpoint) SendStateK(p *des.Proc, st aiac.StateMsg, k func()) {
+	ep.chargePackK(p, controlPayloadBytes, func() {
+		ep.transmit(&wire{kind: wState, from: ep.rank, finalTo: 0, state: st, payloadBytes: controlPayloadBytes}, 0)
+		k()
+	})
+}
+
+// BarrierK is the continuation form of Barrier.
+func (ep *Endpoint) BarrierK(p *des.Proc, k func()) {
+	round := ep.barrierRound
+	ep.barrierRound++
+	g := des.NewGate(ep.env.grid.Sim)
+	ep.barrierGates[round] = g
+	ep.control(wire{kind: wBarArrive, from: ep.rank, round: round}, 0)
+	g.WaitK(p, k)
+}
+
+// SyncExchangeK is the continuation form of SyncExchange.
+func (ep *Endpoint) SyncExchangeK(p *des.Proc, sends []aiac.Outgoing, nRecv int, k func()) {
+	var sendNext func(i int)
+	sendNext = func(i int) {
+		if i == len(sends) {
+			ep.syncRecvK(p, nRecv, k)
+			return
+		}
+		o := sends[i]
+		ep.chargePackK(p, 8*len(o.Values), func() {
+			w := &wire{
+				kind:         wData,
+				from:         ep.rank,
+				finalTo:      o.To,
+				data:         aiac.DataMsg{From: ep.rank, Iter: o.Iter, Key: o.Key, Lo: o.Lo, Values: o.Values},
+				payloadBytes: 8 * len(o.Values),
+			}
+			ep.transmit(w, o.To)
+			sendNext(i + 1)
+		})
+	}
+	sendNext(0)
+}
+
+// syncRecvK is the receive half of SyncExchangeK.
+func (ep *Endpoint) syncRecvK(p *des.Proc, nRecv int, k func()) {
+	if ep.env.opts.RecvModel != RecvSync {
+		ep.syncTarget += nRecv
+		var wait func()
+		wait = func() {
+			if ep.syncRecvd >= ep.syncTarget {
+				k()
+				return
+			}
+			g := des.NewGate(ep.env.grid.Sim)
+			ep.syncWake = g
+			g.WaitK(p, wait)
+		}
+		wait()
+		return
+	}
+	var recvNext func(i int)
+	recvNext = func(i int) {
+		if i == nRecv {
+			k()
+			return
+		}
+		ep.syncData.RecvK(p, func(v any, ok bool) {
+			if !ok {
+				k()
+				return
+			}
+			w := v.(*wire)
+			ep.chargeUnpackK(p, w.payloadBytes, func() {
+				ep.deliverData(w)
+				recvNext(i + 1)
+			})
+		})
+	}
+	recvNext(0)
+}
+
+// AllreduceMaxK is the continuation form of AllreduceMax.
+func (ep *Endpoint) AllreduceMaxK(p *des.Proc, v float64, k func(float64)) {
+	ep.allreduceK(p, redMax, []float64{v}, func(res []float64) { k(res[0]) })
+}
+
+// AllreduceSumK is the continuation form of AllreduceSum.
+func (ep *Endpoint) AllreduceSumK(p *des.Proc, vs []float64, k func([]float64)) {
+	ep.allreduceK(p, redSum, vs, k)
+}
+
+func (ep *Endpoint) allreduceK(p *des.Proc, op redOp, vs []float64, k func([]float64)) {
+	round := ep.redRound
+	ep.redRound++
+	g := des.NewGate(ep.env.grid.Sim)
+	ep.redGates[round] = g
+	contrib := append([]float64(nil), vs...)
+	w := wire{kind: wRedContrib, from: ep.rank, round: round, redOp: op, values: contrib}
+	w.payloadBytes = controlPayloadBytes + 8*len(vs)
+	ep.transmit(&w, 0)
+	g.WaitK(p, func() {
+		delete(ep.redGates, round)
+		res := ep.redResults[round]
+		delete(ep.redResults, round)
+		k(res)
+	})
+}

@@ -27,20 +27,24 @@ var Costs = envcore.CostModel{
 
 // New builds the synchronous MPI environment over the grid. MPI requires a
 // complete connection graph (§5.3).
-func New(grid *cluster.Grid, tr *trace.Collector) (*envcore.Env, error) {
-	return envcore.New(grid, envcore.Options{
+func New(grid *cluster.Grid, tr *trace.Collector, extra ...envcore.Opt) (*envcore.Env, error) {
+	opts := envcore.Options{
 		Name:         "sync-mpi",
 		Costs:        Costs,
 		SendThreads:  1,
 		RecvModel:    envcore.RecvSync,
 		ThreadPolicy: "mono-threaded: blocking sends and receives in the iteration loop",
 		Trace:        tr,
-	})
+	}
+	for _, o := range extra {
+		o(&opts)
+	}
+	return envcore.New(grid, opts)
 }
 
 // MustNew is New that panics on deployment errors.
-func MustNew(grid *cluster.Grid, tr *trace.Collector) *envcore.Env {
-	e, err := New(grid, tr)
+func MustNew(grid *cluster.Grid, tr *trace.Collector, extra ...envcore.Opt) *envcore.Env {
+	e, err := New(grid, tr, extra...)
 	if err != nil {
 		panic(err)
 	}

@@ -59,14 +59,14 @@ var Costs = envcore.CostModel{
 // New builds the OmniORB environment with the Table 4 thread policy for
 // the given problem kind. It never fails on reachability: blocked site
 // pairs are relayed.
-func New(grid *cluster.Grid, kind Kind, tr *trace.Collector) (*envcore.Env, error) {
+func New(grid *cluster.Grid, kind Kind, tr *trace.Collector, extra ...envcore.Opt) (*envcore.Env, error) {
 	sendThreads := grid.Size()
 	policy := "N sending threads, receiving threads created on demand"
 	if kind == NonLinear {
 		sendThreads = 2
 		policy = "two sending threads, receiving threads created on demand"
 	}
-	return envcore.New(grid, envcore.Options{
+	opts := envcore.Options{
 		Name:         "omniorb4",
 		Costs:        Costs,
 		SendThreads:  sendThreads,
@@ -74,12 +74,16 @@ func New(grid *cluster.Grid, kind Kind, tr *trace.Collector) (*envcore.Env, erro
 		ThreadPolicy: policy,
 		Relay:        true,
 		Trace:        tr,
-	})
+	}
+	for _, o := range extra {
+		o(&opts)
+	}
+	return envcore.New(grid, opts)
 }
 
 // MustNew is New that panics on errors.
-func MustNew(grid *cluster.Grid, kind Kind, tr *trace.Collector) *envcore.Env {
-	e, err := New(grid, kind, tr)
+func MustNew(grid *cluster.Grid, kind Kind, tr *trace.Collector, extra ...envcore.Opt) *envcore.Env {
+	e, err := New(grid, kind, tr, extra...)
 	if err != nil {
 		panic(err)
 	}

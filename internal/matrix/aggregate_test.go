@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -60,6 +61,76 @@ func TestAggregateSingleRepIsIdentity(t *testing.T) {
 	want.Reps = 1
 	if r != want {
 		t.Errorf("single-rep aggregation not the identity:\ngot  %+v\nwant %+v", r, want)
+	}
+}
+
+// randomMeasurement draws a measurement whose fields cover the folding
+// paths, with deliberate duplication (small value ranges) so permutation
+// runs hit equal-time ties — the case a non-total sort order gets wrong.
+func randomMeasurement(rng *rand.Rand) measurement {
+	return measurement{
+		timeSec:       float64(rng.Intn(4)) * 0.5, // few distinct values: ties are the point
+		iters:         rng.Intn(3) * 100,
+		messages:      uint64(rng.Intn(3)),
+		bytes:         uint64(rng.Intn(3) * 1024),
+		dropped:       uint64(rng.Intn(3)),
+		residual:      float64(rng.Intn(2)) * 1e-6,
+		converged:     rng.Intn(4) != 0,
+		stalled:       rng.Intn(4) == 0,
+		reconvergeSec: float64(rng.Intn(3)),
+		restarts:      rng.Intn(2),
+		heartbeats:    rng.Intn(2),
+	}
+}
+
+// TestAggregatePermutationInvariance: the aggregate of a cell's
+// repetitions must not depend on the order they completed in — including
+// among repetitions with identical simulated times, which is where the old
+// time-only sort order let the completion order pick the median.
+func TestAggregatePermutationInvariance(t *testing.T) {
+	c := Cell{Env: "pm2", Mode: aiac.Async, Grid: "adsl", Problem: "linear", Procs: 8, Size: 1000}
+	rng := rand.New(rand.NewSource(20040426))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		ms := make([]measurement, n)
+		for i := range ms {
+			ms[i] = randomMeasurement(rng)
+		}
+		base := aggregate(c, append([]measurement(nil), ms...))
+		for p := 0; p < 10; p++ {
+			perm := make([]measurement, n)
+			for i, j := range rng.Perm(n) {
+				perm[i] = ms[j]
+			}
+			if got := aggregate(c, perm); got != base {
+				t.Fatalf("trial %d: aggregate depends on repetition order:\nbase %+v\ngot  %+v\nreps %+v", trial, base, got, perm)
+			}
+		}
+	}
+}
+
+// TestAggregateOutcomeFoldProperties: any stalled repetition marks the
+// cell stalled, and any unconverged repetition marks the cell unconverged,
+// whatever the rest of the measurements look like.
+func TestAggregateOutcomeFoldProperties(t *testing.T) {
+	c := Cell{Env: "madmpi", Mode: aiac.Async, Grid: "3site", Problem: "linear", Procs: 8, Size: 1000}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		ms := make([]measurement, n)
+		anyStalled, allConverged := false, true
+		for i := range ms {
+			ms[i] = randomMeasurement(rng)
+			anyStalled = anyStalled || ms[i].stalled
+			allConverged = allConverged && ms[i].converged
+		}
+		r := aggregate(c, ms)
+		if r.Stalled != anyStalled {
+			t.Fatalf("trial %d: Stalled = %v, want OR-fold %v over %+v", trial, r.Stalled, anyStalled, ms)
+		}
+		if r.Converged != allConverged {
+			t.Fatalf("trial %d: Converged = %v, want AND-fold %v over %+v", trial, r.Converged, allConverged, ms)
+		}
 	}
 }
 

@@ -53,6 +53,7 @@ import (
 	"aiac/internal/backend"
 	"aiac/internal/cluster"
 	"aiac/internal/des"
+	"aiac/internal/env/envcore"
 	"aiac/internal/env/madmpi"
 	"aiac/internal/env/mpi"
 	"aiac/internal/env/orb"
@@ -75,9 +76,10 @@ var (
 	// ScenarioNames lists the grid-dynamics presets (internal/scenario),
 	// the static grid first.
 	ScenarioNames = scenario.Names()
-	// BackendNames lists the execution backends: the simulator first,
+	// BackendNames lists the execution backends: the simulators first
+	// (the goroutine DES, then its goroutine-free continuation twin),
 	// then the native transports (internal/backend).
-	BackendNames = []string{"sim", "chan", "tcp"}
+	BackendNames = []string{"sim", "sim-fast", "chan", "tcp"}
 	// Modes lists the iteration schemes, baseline first.
 	Modes = []aiac.Mode{aiac.Sync, aiac.Async}
 )
@@ -85,6 +87,14 @@ var (
 // NativeEnv is the pseudo-environment of natively executed cells: their
 // middleware is the Go runtime itself.
 const NativeEnv = "go"
+
+// SimulatedBackend reports whether the named backend executes cells as
+// discrete-event simulations ("sim" and "sim-fast", which differ only in
+// the host-side execution mechanism and produce identical measurements)
+// rather than natively on this host's wall clock.
+func SimulatedBackend(name string) bool {
+	return name == "sim" || name == "sim-fast" || name == ""
+}
 
 // Cell is one experiment of the matrix.
 type Cell struct {
@@ -231,11 +241,11 @@ func (s Spec) Cells() []Cell {
 				for _, size := range sizes {
 					for _, scen := range s.Scenarios {
 						for _, bk := range s.Backends {
-							if bk != "sim" && !backend.NativeScenario(scen) {
+							if !SimulatedBackend(bk) && !backend.NativeScenario(scen) {
 								continue
 							}
 							for _, mode := range s.Modes {
-								if bk != "sim" {
+								if !SimulatedBackend(bk) {
 									cells = append(cells, Cell{
 										Env: NativeEnv, Mode: mode, Grid: grid,
 										Problem: prob, Procs: procs, Size: size,
@@ -414,25 +424,27 @@ func NewGrid(sim *des.Simulator, name string, n int) (*cluster.Grid, error) {
 // NewEnv deploys the named environment over the grid, with the Table 4
 // thread configuration matching the problem kind (sparse: all-to-all
 // exchange; otherwise the neighbour-exchange non-linear configuration).
-func NewEnv(grid *cluster.Grid, name string, sparse bool, tr *trace.Collector) (aiac.Env, error) {
+// Trailing options (envcore.WithEventLoop for the sim-fast backend) pass
+// through to the environment constructor.
+func NewEnv(grid *cluster.Grid, name string, sparse bool, tr *trace.Collector, extra ...envcore.Opt) (aiac.Env, error) {
 	switch name {
 	case "mpi":
-		return mpi.New(grid, tr)
+		return mpi.New(grid, tr, extra...)
 	case "pm2":
 		if sparse {
-			return pm2.New(grid, pm2.Sparse, tr)
+			return pm2.New(grid, pm2.Sparse, tr, extra...)
 		}
-		return pm2.New(grid, pm2.NonLinear, tr)
+		return pm2.New(grid, pm2.NonLinear, tr, extra...)
 	case "madmpi":
 		if sparse {
-			return madmpi.New(grid, madmpi.Sparse, tr)
+			return madmpi.New(grid, madmpi.Sparse, tr, extra...)
 		}
-		return madmpi.New(grid, madmpi.NonLinear, tr)
+		return madmpi.New(grid, madmpi.NonLinear, tr, extra...)
 	case "omniorb":
 		if sparse {
-			return orb.New(grid, orb.Sparse, tr)
+			return orb.New(grid, orb.Sparse, tr, extra...)
 		}
-		return orb.New(grid, orb.NonLinear, tr)
+		return orb.New(grid, orb.NonLinear, tr, extra...)
 	default:
 		return nil, fmt.Errorf("unknown environment %q (known: %s)", name, strings.Join(EnvNames, ", "))
 	}

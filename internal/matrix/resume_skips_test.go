@@ -1,0 +1,60 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+
+	"aiac/internal/aiac"
+	"aiac/internal/report"
+)
+
+// TestResumeSkipsClassification: every way a prior sidecar row can fail to
+// be reused maps to its named reason in the -resume histogram.
+func TestResumeSkipsClassification(t *testing.T) {
+	spec := Spec{
+		Envs: []string{"pm2"}, Modes: []aiac.Mode{aiac.Async},
+		Grids: []string{"local"}, Problems: []string{"linear"},
+		Procs: []int{2}, Sizes: []int{500},
+	}.withDefaults()
+	c := spec.Cells()[0]
+	key := cellCacheKey(c, spec, 1, 0, 0)
+	res := report.Result{
+		Env: c.Env, Mode: c.Mode.String(), Grid: c.Grid, Problem: c.Problem,
+		Procs: c.Procs, Size: c.Size, Scenario: "static", Backend: "sim",
+	}
+	mutate := func(old, new string) string {
+		if !strings.Contains(key, old) {
+			t.Fatalf("cache key %q lacks %q", key, old)
+		}
+		return strings.Replace(key, old, new, 1)
+	}
+	otherCell := res
+	otherCell.Grid = "adsl"
+	prior := []report.SidecarRow{
+		{CacheKey: key, Result: res},                                    // reusable: not counted
+		{CacheKey: mutate("schema=", "schema=9999"), Result: res},       // schema bump
+		{CacheKey: mutate("rho=0.85", "rho=0.9"), Result: res},          // problem params
+		{CacheKey: mutate("reps=1", "reps=3"), Result: res},             // repetition count
+		{CacheKey: mutate("jitterseed=0", "jitterseed=7"), Result: res}, // jitter seed
+		{CacheKey: mutate("grace=", "grace=1"), Result: res},            // protocol constants
+		{CacheKey: key, Result: otherCell},                              // cell not in this sweep
+		{CacheKey: key, Result: func() report.Result { r := res; r.Error = "boom"; return r }()},
+	}
+	skips := ResumeSkips(spec, prior, 1, 0, 0)
+	want := map[string]int{
+		"schema": 1, "params": 1, "reps": 1, "seed": 1,
+		"protocol": 1, "not-selected": 1, "errored": 1,
+	}
+	for reason, n := range want {
+		if skips[reason] != n {
+			t.Errorf("skips[%q] = %d, want %d (full histogram: %v)", reason, skips[reason], n, skips)
+		}
+	}
+	total := 0
+	for _, n := range skips {
+		total += n
+	}
+	if total != len(prior)-1 {
+		t.Errorf("classified %d rows, want %d (all but the reusable one): %v", total, len(prior)-1, skips)
+	}
+}

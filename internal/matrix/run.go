@@ -12,12 +12,14 @@ import (
 	"aiac/internal/backend"
 	"aiac/internal/chem"
 	"aiac/internal/des"
+	"aiac/internal/env/envcore"
 	"aiac/internal/gmres"
 	"aiac/internal/la"
 	"aiac/internal/problems"
 	"aiac/internal/protocol"
 	"aiac/internal/report"
 	"aiac/internal/scenario"
+	"aiac/internal/simfast"
 	"aiac/internal/trace"
 )
 
@@ -133,7 +135,7 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 			emit(r)
 			continue
 		}
-		if c.backendName() == "sim" {
+		if SimulatedBackend(c.backendName()) {
 			simIdx = append(simIdx, i)
 		} else {
 			nativeIdx = append(nativeIdx, i)
@@ -234,6 +236,55 @@ type measurement struct {
 	proto        protocol.Params
 }
 
+// less orders measurements lexicographically over every field — a total
+// order (up to full equality), so sorting is deterministic whatever the
+// input permutation.
+func (m measurement) less(o measurement) bool {
+	if m.timeSec != o.timeSec {
+		return m.timeSec < o.timeSec
+	}
+	if m.iters != o.iters {
+		return m.iters < o.iters
+	}
+	if m.messages != o.messages {
+		return m.messages < o.messages
+	}
+	if m.bytes != o.bytes {
+		return m.bytes < o.bytes
+	}
+	if m.interSite != o.interSite {
+		return m.interSite < o.interSite
+	}
+	if m.dropped != o.dropped {
+		return m.dropped < o.dropped
+	}
+	if m.residual != o.residual {
+		return m.residual < o.residual
+	}
+	if m.converged != o.converged {
+		return !m.converged
+	}
+	if m.stalled != o.stalled {
+		return !m.stalled
+	}
+	if m.reconvergeSec != o.reconvergeSec {
+		return m.reconvergeSec < o.reconvergeSec
+	}
+	if m.restarts != o.restarts {
+		return m.restarts < o.restarts
+	}
+	if m.wallSec != o.wallSec {
+		return m.wallSec < o.wallSec
+	}
+	if m.heartbeats != o.heartbeats {
+		return m.heartbeats < o.heartbeats
+	}
+	if m.rebroadcasts != o.rebroadcasts {
+		return m.rebroadcasts < o.rebroadcasts
+	}
+	return m.reconfirms < o.reconfirms
+}
+
 // result converts the repetition into a single-rep report.Result for c.
 func (m measurement) result(c Cell) report.Result {
 	return report.Result{
@@ -300,7 +351,7 @@ func runCellAttempt(c Cell, spec Spec, reps int, seed int64, timeout time.Durati
 	// be bit-identical reruns — run it once. Native cells are
 	// nondeterministic by nature (real scheduling, real wire), so their
 	// repetitions always measure distinct runs.
-	if c.backendName() == "sim" && c.Problem == "chem" && seed == 0 {
+	if SimulatedBackend(c.backendName()) && c.Problem == "chem" && seed == 0 {
 		reps = 1
 	}
 	out := report.Result{
@@ -337,7 +388,12 @@ func runCellAttempt(c Cell, spec Spec, reps int, seed int64, timeout time.Durati
 // median alone used to report stalled=false on a cell whose non-median
 // repetition deadlocked.)
 func aggregate(c Cell, ms []measurement) report.Result {
-	sort.Slice(ms, func(i, j int) bool { return ms[i].timeSec < ms[j].timeSec })
+	// Sort by a total order — simulated time first, then every other
+	// measurement field as a tie-break — so the aggregate is invariant
+	// under the order repetitions completed in. Sorting by time alone left
+	// the median pick among equal-time repetitions (common for
+	// deterministic problems) dependent on input order.
+	sort.Slice(ms, func(i, j int) bool { return ms[i].less(ms[j]) })
 	out := ms[(len(ms)-1)/2].result(c)
 	out.Reps = len(ms)
 	out.MinTimeSec = ms[0].timeSec
@@ -367,8 +423,8 @@ func aggregate(c Cell, ms []measurement) report.Result {
 // repetition (Reps == 1).
 func RunCellOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector) (report.Result, error) {
 	spec = spec.withDefaults()
-	if c.backendName() != "sim" && tr != nil {
-		return report.Result{}, fmt.Errorf("tracing needs the sim backend (cell %s runs natively)", c.Key())
+	if !SimulatedBackend(c.backendName()) && tr != nil {
+		return report.Result{}, fmt.Errorf("tracing needs a simulated backend (cell %s runs natively)", c.Key())
 	}
 	m, err := runOnce(c, spec, rep, seed, timeout, tr, nil)
 	if err != nil {
@@ -381,9 +437,15 @@ func RunCellOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, 
 // cells, natively over a fresh transport otherwise. cache, when non-nil,
 // supplies memoized problem assembly (a nil cache builds fresh systems).
 func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector, cache *problems.Cache) (measurement, error) {
-	if c.backendName() != "sim" {
+	if !SimulatedBackend(c.backendName()) {
 		return runNative(c, spec, rep, seed, timeout, cache)
 	}
+	// The sim-fast backend is the same simulation executed by the
+	// continuation engine: an event-loop environment, a task-driven
+	// scenario, and simfast.Run in place of aiac.Run. Everything else —
+	// grid, jitter, problems, measurement extraction — is shared, which is
+	// what makes the two backends' reports bit-identical.
+	fast := c.backendName() == "sim-fast"
 	scen, err := scenario.ByName(c.scenarioName())
 	if err != nil {
 		return measurement{}, err
@@ -396,15 +458,26 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 	if seed != 0 {
 		grid.Net.SetJitter(0.02, seed+int64(rep))
 	}
-	env, err := NewEnv(grid, c.Env, c.Problem == "linear", tr)
+	var eopts []envcore.Opt
+	engine := problems.EngineFunc(aiac.Run)
+	if fast {
+		eopts = append(eopts, envcore.WithEventLoop())
+		engine = simfast.Run
+	}
+	env, err := NewEnv(grid, c.Env, c.Problem == "linear", tr, eopts...)
 	if err != nil {
 		return measurement{}, fmt.Errorf("deploying %s on %s: %w", c.Env, c.Grid, err)
 	}
-	rt := scenario.Deploy(scen, grid)
+	var rt *scenario.Runtime
+	if fast {
+		rt = scenario.DeployEventLoop(scen, grid)
+	} else {
+		rt = scenario.Deploy(scen, grid)
+	}
 
 	var m measurement
 	linearLike := func(prob aiac.Problem, xtrue []float64, eps float64, maxIters int) {
-		rpt := aiac.Run(grid, env, prob, aiac.Config{
+		rpt := engine(grid, env, prob, aiac.Config{
 			Mode: c.Mode, Eps: eps, MaxIters: maxIters,
 			Trace: tr, Dynamics: rt,
 		})
@@ -439,12 +512,17 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 			// The paper's synchronous version of the non-linear
 			// problem: classical global Newton with distributed GMRES
 			// (§4.2 strategy 1).
-			run = problems.RunChemSyncGlobal(grid, env, p, p.InitialState(),
-				cp.StepS, cp.HorizonS, gp, cp.Eps, 50)
+			if fast {
+				run = problems.RunChemSyncGlobalFast(grid, env, p, p.InitialState(),
+					cp.StepS, cp.HorizonS, gp, cp.Eps, 50)
+			} else {
+				run = problems.RunChemSyncGlobal(grid, env, p, p.InitialState(),
+					cp.StepS, cp.HorizonS, gp, cp.Eps, 50)
+			}
 		} else {
 			// Multisplitting Newton (§4.2 strategy 2), asynchronous or
 			// lockstep according to the mode.
-			run = problems.RunChem(grid, env, p, p.InitialState(),
+			run = problems.RunChemWith(engine, grid, env, p, p.InitialState(),
 				cp.StepS, cp.HorizonS, gp, aiac.Config{Mode: c.Mode, Eps: cp.Eps, Trace: tr, Dynamics: rt})
 		}
 		m.timeSec = run.Elapsed.Seconds()

@@ -39,7 +39,7 @@ func expectedCost(c Cell, prior *priorIndex) float64 {
 	if c.Mode == aiac.Async {
 		cost *= 3
 	}
-	if c.backendName() == "sim" {
+	if SimulatedBackend(c.backendName()) {
 		switch c.Env {
 		case "pm2", "omniorb":
 			cost *= 8

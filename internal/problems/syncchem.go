@@ -134,6 +134,11 @@ type syncStrip struct {
 	rank      int
 	gp        gmres.Params
 
+	// Continuation-driver contracts, set only by runSyncStepFast
+	// (syncchem_fast.go); nil on the goroutine path.
+	kcomm kChemComm
+	kcpu  kChemCPU
+
 	lo, hi int // state index range of the strip
 	n      int
 

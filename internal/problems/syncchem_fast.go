@@ -1,0 +1,315 @@
+package problems
+
+import (
+	"fmt"
+	"math"
+
+	"aiac/internal/aiac"
+	"aiac/internal/chem"
+	"aiac/internal/cluster"
+	"aiac/internal/des"
+	"aiac/internal/gmres"
+)
+
+// This file is the continuation-passing twin of syncchem.go for the
+// sim-fast backend: the same classical global Newton + distributed GMRES
+// (§4.2 strategy 1), with the rank processes as continuation-backed tasks
+// (des.SpawnTask) instead of goroutines. Every blocking collective of the
+// goroutine version — ghost exchange, allreduced dot product, CPU charge —
+// maps onto its K-form at the same program point, so both versions issue
+// identical event sequences and their per-step Reports are bit-identical.
+// All numerical helpers (applyGivens, backSubstitute, dotLocal, the
+// syncStrip storage) are shared with the goroutine version.
+
+// kChemComm is the communication contract of the continuation driver —
+// defined structurally here so this package does not depend on the
+// sim-fast engine package. envcore.Endpoint satisfies it.
+type kChemComm interface {
+	aiac.Comm
+	BarrierK(p *des.Proc, k func())
+	SyncExchangeK(p *des.Proc, sends []aiac.Outgoing, nRecv int, k func())
+	AllreduceMaxK(p *des.Proc, v float64, k func(float64))
+	AllreduceSumK(p *des.Proc, vs []float64, k func([]float64))
+}
+
+// kChemCPU is the CPU contract of the continuation driver (satisfied by
+// *marcel.CPU, kept structural like clusterCPU).
+type kChemCPU interface {
+	ComputeK(p *des.Proc, flops float64, k func())
+}
+
+// RunChemSyncGlobalFast is RunChemSyncGlobal executed by continuation
+// tasks — the sim-fast form. The environment must have been built with
+// envcore.WithEventLoop(). Reports are bit-identical to the goroutine
+// version's.
+func RunChemSyncGlobalFast(grid *cluster.Grid, env aiac.Env, p *chem.Problem, y0 []float64, h, tEnd float64, gp gmres.Params, eps float64, maxNewton int) *ChemRun {
+	if gp.Tol <= 0 {
+		gp.Tol = 1e-6
+	}
+	if gp.Restart <= 0 {
+		gp.Restart = 20
+	}
+	if gp.MaxIters <= 0 {
+		gp.MaxIters = 200
+	}
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	if maxNewton <= 0 {
+		maxNewton = 50
+	}
+	run := &ChemRun{Y: make([]float64, len(y0))}
+	copy(run.Y, y0)
+	start := grid.Sim.Now()
+	for t := 0.0; t < tEnd-1e-9; t += h {
+		rep := runSyncStepFast(grid, env, p, run.Y, h, t+h, gp, eps, maxNewton)
+		run.Steps = append(run.Steps, rep)
+		run.Y = rep.X
+	}
+	run.Elapsed = grid.Sim.Now() - start
+	return run
+}
+
+// runSyncStepFast solves one implicit-Euler step in lockstep, on tasks.
+func runSyncStepFast(grid *cluster.Grid, env aiac.Env, p *chem.Problem, yOld []float64, h, tEnd float64, gp gmres.Params, eps float64, maxNewton int) *aiac.Report {
+	nranks := grid.Size()
+	rowBounds := chem.StripPartition(p.NZ, nranks)
+	bounds := make([]int, nranks+1)
+	for i, zr := range rowBounds {
+		lo, _ := p.RowSegment(zr, zr)
+		bounds[i] = lo
+	}
+
+	sim := grid.Sim
+	startT := sim.Now()
+	iters := make([]int, nranks)
+	finish := make([]des.Time, nranks)
+	y := make([]float64, len(yOld))
+	copy(y, yOld)
+	converged := false
+
+	for r := 0; r < nranks; r++ {
+		r := r
+		sim.SpawnTask(fmt.Sprintf("syncrank%d", r), func(proc *des.Proc) {
+			comm := env.Comm(r)
+			kc, ok := comm.(kChemComm)
+			if !ok {
+				panic(fmt.Sprintf("problems: env %s endpoint %T lacks the continuation Comm methods", env.Name(), comm))
+			}
+			comm.ResetSession()
+			cpu := grid.Machines[r].CPU
+			sys := chem.NewEulerSystem(p, yOld, h, tEnd)
+			s := newSyncStrip(sys, p, comm, cpu, bounds, rowBounds, r, gp)
+			s.kcomm, s.kcpu = kc, cpu
+			exit := func() { finish[r] = proc.Now() }
+			var newton func(k int)
+			newton = func(k int) {
+				if k >= maxNewton {
+					exit()
+					return
+				}
+				iters[r]++
+				s.newtonIterationK(proc, y, func(res float64) {
+					if res < eps {
+						if r == 0 {
+							converged = true
+						}
+						exit()
+						return
+					}
+					newton(k + 1)
+				})
+			}
+			kc.BarrierK(proc, func() { newton(0) })
+		})
+	}
+	sim.Run()
+
+	end := startT
+	for _, f := range finish {
+		if f > end {
+			end = f
+		}
+	}
+	rep := &aiac.Report{
+		Elapsed: end - startT, Start: startT, End: end,
+		X: y, ItersPerRank: iters, Reason: aiac.StopIterCap,
+	}
+	if converged {
+		rep.Reason = aiac.StopConverged
+	}
+	return rep
+}
+
+// exchangeGhostsK is the continuation form of exchangeGhosts.
+func (s *syncStrip) exchangeGhostsK(proc *des.Proc, buf []float64, k func()) {
+	zlo, zhi := s.rowBounds[s.rank], s.rowBounds[s.rank+1]
+	var sends []aiac.Outgoing
+	nRecv := 0
+	if s.rank > 0 {
+		lo, hi := s.p.RowSegment(zlo, zlo+1)
+		vals := make([]float64, hi-lo)
+		copy(vals, buf[lo:hi])
+		sends = append(sends, aiac.Outgoing{To: s.rank - 1, Key: 4*s.rank + 0, Lo: lo, Values: vals})
+		nRecv++
+	}
+	if s.rank < len(s.rowBounds)-2 {
+		lo, hi := s.p.RowSegment(zhi-1, zhi)
+		vals := make([]float64, hi-lo)
+		copy(vals, buf[lo:hi])
+		sends = append(sends, aiac.Outgoing{To: s.rank + 1, Key: 4*s.rank + 1, Lo: lo, Values: vals})
+		nRecv++
+	}
+	s.comm.SetDataSink(func(m aiac.DataMsg) {
+		copy(buf[m.Lo:m.Lo+len(m.Values)], m.Values)
+	})
+	s.kcomm.SyncExchangeK(proc, sends, nRecv, k)
+}
+
+// newtonIterationK is the continuation form of newtonIteration.
+func (s *syncStrip) newtonIterationK(proc *des.Proc, y []float64, k func(res float64)) {
+	lo, hi, n := s.lo, s.hi, s.n
+	s.exchangeGhostsK(proc, y, func() {
+		s.sys.EvalG(s.gbuf, y, lo, hi)
+		s.kcpu.ComputeK(proc, s.sys.GFlops(lo, hi), func() {
+			rhs := make([]float64, n)
+			for i := 0; i < n; i++ {
+				rhs[i] = -s.gbuf[lo+i]
+			}
+			delta := make([]float64, n)
+			s.gmresSolveK(proc, y, rhs, delta, func() {
+				var maxs float64
+				for i := 0; i < n; i++ {
+					y[lo+i] += delta[i]
+					scale := math.Abs(y[lo+i])
+					if scale < 1 {
+						scale = 1
+					}
+					if r := math.Abs(delta[i]) / scale; r > maxs {
+						maxs = r
+					}
+				}
+				s.kcpu.ComputeK(proc, 3*float64(n), func() {
+					s.kcomm.AllreduceMaxK(proc, maxs, k)
+				})
+			})
+		})
+	})
+}
+
+// applyJK is the continuation form of applyJ.
+func (s *syncStrip) applyJK(proc *des.Proc, y, vStrip, dst []float64, k func()) {
+	for i := range s.wbuf {
+		s.wbuf[i] = 0
+	}
+	copy(s.wbuf[s.lo:s.hi], vStrip)
+	s.exchangeGhostsK(proc, s.wbuf, func() {
+		s.sys.ApplyJ(s.gbuf, s.wbuf, y, s.lo, s.hi)
+		s.kcpu.ComputeK(proc, s.sys.JFlops(s.lo, s.hi), func() {
+			copy(dst, s.gbuf[s.lo:s.hi])
+			k()
+		})
+	})
+}
+
+// dotsK is the continuation form of dots.
+func (s *syncStrip) dotsK(proc *des.Proc, partials []float64, k func([]float64)) {
+	s.kcpu.ComputeK(proc, 2*float64(s.n)*float64(len(partials)), func() {
+		s.kcomm.AllreduceSumK(proc, partials, k)
+	})
+}
+
+// gmresSolveK is the continuation form of gmresSolve: the nested
+// outer/Arnoldi loops become recursive continuations with the same
+// collective at each program point.
+func (s *syncStrip) gmresSolveK(proc *des.Proc, y, rhs, delta []float64, done func()) {
+	m := s.gp.Restart
+	n := s.n
+	maxOuter := s.gp.MaxIters/m + 1
+	w := make([]float64, n)
+
+	s.dotsK(proc, []float64{dotLocal(rhs, rhs)}, func(bns []float64) {
+		bnorm := math.Sqrt(bns[0])
+		if bnorm == 0 {
+			done()
+			return
+		}
+		var outer func(o int)
+		outer = func(o int) {
+			if o >= maxOuter {
+				done()
+				return
+			}
+			s.applyJK(proc, y, delta, w, func() {
+				for i := range w {
+					w[i] = rhs[i] - w[i]
+				}
+				s.dotsK(proc, []float64{dotLocal(w, w)}, func(b2 []float64) {
+					beta := math.Sqrt(b2[0])
+					if beta/bnorm <= s.gp.Tol {
+						done()
+						return
+					}
+					copy(s.v[0], w)
+					for i := range s.v[0] {
+						s.v[0][i] /= beta
+					}
+					for i := range s.g {
+						s.g[i] = 0
+					}
+					s.g[0] = beta
+
+					cycleEnd := func(k int) {
+						s.backSubstitute(k, delta)
+						if math.Abs(s.g[k])/bnorm <= s.gp.Tol || k < m {
+							done()
+							return
+						}
+						outer(o + 1)
+					}
+					var arnoldi func(k int)
+					arnoldi = func(k int) {
+						if k >= m {
+							cycleEnd(k)
+							return
+						}
+						s.applyJK(proc, y, s.v[k], w, func() {
+							partials := make([]float64, k+1)
+							for i := 0; i <= k; i++ {
+								partials[i] = dotLocal(w, s.v[i])
+							}
+							s.dotsK(proc, partials, func(coefs []float64) {
+								for i := 0; i <= k; i++ {
+									s.hcolSet(i, coefs[i])
+									for j := range w {
+										w[j] -= coefs[i] * s.v[i][j]
+									}
+								}
+								s.kcpu.ComputeK(proc, 2*float64(n)*float64(k+1), func() {
+									s.dotsK(proc, []float64{dotLocal(w, w)}, func(n2 []float64) {
+										hk1 := math.Sqrt(n2[0])
+										s.hcolSet(k+1, hk1)
+										if hk1 > 1e-300 {
+											copy(s.v[k+1], w)
+											for j := range s.v[k+1] {
+												s.v[k+1][j] /= hk1
+											}
+										}
+										s.applyGivens(k)
+										if math.Abs(s.g[k+1])/bnorm <= s.gp.Tol {
+											cycleEnd(k + 1)
+											return
+										}
+										arnoldi(k + 1)
+									})
+								})
+							})
+						})
+					}
+					arnoldi(0)
+				})
+			})
+		}
+		outer(0)
+	})
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// ReadSidecarWithStats must classify every dropped line: an unterminated
+// JSON object is a truncated append, anything else is foreign content, and
+// valid rows still come back in write order.
+func TestReadSidecarWithStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	content := `{"cache_key":"k1","result":{"env":"pm2"}}
+not json at all
+{"cache_key":"k2","result":{"env":"mpi"}}
+{"some":"other","valid":"json"}
+{"cache_key":"k3","result":{"env":"orb"`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, stats, err := ReadSidecarWithStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].CacheKey != "k1" || rows[1].CacheKey != "k2" {
+		t.Fatalf("rows = %+v, want k1 and k2", rows)
+	}
+	if stats.Valid != 2 {
+		t.Errorf("Valid = %d, want 2", stats.Valid)
+	}
+	if stats.Truncated != 1 {
+		t.Errorf("Truncated = %d, want 1 (the cut-off final line)", stats.Truncated)
+	}
+	// The non-JSON line and the valid-but-wrong-shape line (empty cache
+	// key) are both foreign content.
+	if stats.Garbage != 2 {
+		t.Errorf("Garbage = %d, want 2", stats.Garbage)
+	}
+	if stats.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", stats.Dropped())
+	}
+}

@@ -242,7 +242,13 @@ func (s *Set) Table() string {
 		}
 		seen[g] = true
 		unit := ""
-		if r.BackendOrSim() != "sim" {
+		switch r.BackendOrSim() {
+		case "sim":
+		case "sim-fast":
+			// Same simulation, same virtual seconds — only the engine
+			// underneath differs.
+			unit = ", sim-fast backend"
+		default:
 			unit = fmt.Sprintf(", %s backend (wall-clock)", r.BackendOrSim())
 		}
 		fmt.Fprintf(&b, "%s — %s grid, %d procs, n=%d, scenario %s%s\n", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic(), unit)

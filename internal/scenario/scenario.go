@@ -82,6 +82,18 @@ type Runtime struct {
 // virtual time. Call it before spawning the workload so time-zero events
 // apply first.
 func Deploy(s *Scenario, g *cluster.Grid) *Runtime {
+	return deploy(s, g, false)
+}
+
+// DeployEventLoop is Deploy with the scenario driver running as a
+// continuation-backed task (des.SpawnTask) — the sim-fast execution mode.
+// The driver performs the same SleepUntil suspensions in the same order as
+// the goroutine driver, so the applied event sequence is bit-identical.
+func DeployEventLoop(s *Scenario, g *cluster.Grid) *Runtime {
+	return deploy(s, g, true)
+}
+
+func deploy(s *Scenario, g *cluster.Grid, eventLoop bool) *Runtime {
 	n := g.Size()
 	rt := &Runtime{
 		Grid:     g,
@@ -98,16 +110,38 @@ func Deploy(s *Scenario, g *cluster.Grid) *Runtime {
 		rt.events = s.Build(g)
 		sort.SliceStable(rt.events, func(i, j int) bool { return rt.events[i].At < rt.events[j].At })
 	}
-	if len(rt.events) > 0 {
-		g.Sim.Spawn("scenario:"+s.Name, func(p *des.Proc) {
-			for _, ev := range rt.events {
-				p.SleepUntil(rt.base + ev.At)
-				ev.Apply(rt)
-				rt.applied++
-			}
-		})
+	if len(rt.events) == 0 {
+		return rt
 	}
+	if eventLoop {
+		g.Sim.SpawnTask("scenario:"+s.Name, func(p *des.Proc) {
+			rt.driveK(p, 0)
+		})
+		return rt
+	}
+	g.Sim.Spawn("scenario:"+s.Name, func(p *des.Proc) {
+		for _, ev := range rt.events {
+			p.SleepUntil(rt.base + ev.At)
+			ev.Apply(rt)
+			rt.applied++
+		}
+	})
 	return rt
+}
+
+// driveK applies events i.. as a continuation chain. SleepUntilK always
+// goes through the scheduler (even for past timestamps), so the recursion
+// never deepens the host stack.
+func (rt *Runtime) driveK(p *des.Proc, i int) {
+	if i == len(rt.events) {
+		return
+	}
+	ev := rt.events[i]
+	p.SleepUntilK(rt.base+ev.At, func() {
+		ev.Apply(rt)
+		rt.applied++
+		rt.driveK(p, i+1)
+	})
 }
 
 // Events returns the number of timeline events applied so far.
@@ -135,6 +169,16 @@ func (rt *Runtime) WaitUp(p *des.Proc, rank int) {
 	for rt.gates[rank] != nil {
 		rt.gates[rank].Wait(p)
 	}
+}
+
+// WaitUpK is the continuation form of WaitUp: k runs synchronously when
+// the node is already up, mirroring WaitUp's no-yield fast path.
+func (rt *Runtime) WaitUpK(p *des.Proc, rank int, k func()) {
+	if rt.gates[rank] == nil {
+		k()
+		return
+	}
+	rt.gates[rank].WaitK(p, func() { rt.WaitUpK(p, rank, k) })
 }
 
 // LastEventBefore returns the absolute virtual time of the latest timeline

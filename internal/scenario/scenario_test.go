@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -199,5 +201,95 @@ func TestPresetTimelinesAreFinite(t *testing.T) {
 		if end > 10*time.Minute {
 			t.Fatalf("%s: timeline runs to %v", name, end)
 		}
+	}
+}
+
+// sameTimeScenario builds a timeline with three distinct batches of events
+// sharing one virtual instant each, listed out of build order across
+// batches but in a meaningful order within each batch — the shape that
+// exposes any driver that breaks the stable ordering of simultaneous
+// events.
+func sameTimeScenario(trace *[]string) *Scenario {
+	rec := func(name string) func(*Runtime) {
+		return func(rt *Runtime) {
+			*trace = append(*trace, fmt.Sprintf("%v:%s", rt.Grid.Sim.Now(), name))
+		}
+	}
+	return &Scenario{
+		Name: "same-time",
+		Build: func(*cluster.Grid) []Event {
+			return []Event{
+				{At: 20 * time.Millisecond, Desc: "b1", Apply: rec("b1")},
+				{At: 10 * time.Millisecond, Desc: "a1", Apply: rec("a1")},
+				{At: 20 * time.Millisecond, Desc: "b2", Apply: rec("b2")},
+				{At: 10 * time.Millisecond, Desc: "a2", Apply: rec("a2")},
+				{At: 10 * time.Millisecond, Desc: "a3", Apply: rec("a3")},
+				{At: 30 * time.Millisecond, Desc: "c1", Apply: rec("c1")},
+			}
+		},
+	}
+}
+
+// TestSameVirtualTimeOrderBothDrivers pins the contract the differential
+// harness rests on: events scheduled at the same virtual instant apply in
+// build order (the sort is stable), and the goroutine driver (Deploy) and
+// the continuation driver (DeployEventLoop) produce the exact same applied
+// sequence — times and order both.
+func TestSameVirtualTimeOrderBothDrivers(t *testing.T) {
+	want := []string{
+		"10ms:a1", "10ms:a2", "10ms:a3",
+		"20ms:b1", "20ms:b2",
+		"30ms:c1",
+	}
+	run := func(deploy func(*Scenario, *cluster.Grid) *Runtime) []string {
+		sim := des.New()
+		g := cluster.LocalHeterogeneous(sim, 4)
+		var trace []string
+		rt := deploy(sameTimeScenario(&trace), g)
+		sim.Run()
+		if rt.Events() != len(want) {
+			t.Fatalf("driver applied %d events, want %d", rt.Events(), len(want))
+		}
+		return trace
+	}
+	goroutine := run(Deploy)
+	eventLoop := run(DeployEventLoop)
+	if !reflect.DeepEqual(goroutine, want) {
+		t.Errorf("goroutine driver order:\n got %v\nwant %v", goroutine, want)
+	}
+	if !reflect.DeepEqual(eventLoop, goroutine) {
+		t.Errorf("drivers disagree on simultaneous-event order:\n goroutine  %v\n event-loop %v", goroutine, eventLoop)
+	}
+}
+
+// TestDriversInterleaveIdenticallyWithWorkload checks the two drivers
+// against a concurrent simulated process sampling the clock: the workload
+// observations and the applied-event count at each observation must match
+// between drivers, i.e. the scenario perturbs a running simulation at the
+// same points of its execution regardless of driver.
+func TestDriversInterleaveIdenticallyWithWorkload(t *testing.T) {
+	type obs struct {
+		At      des.Time
+		Applied int
+	}
+	run := func(deploy func(*Scenario, *cluster.Grid) *Runtime) []obs {
+		sim := des.New()
+		g := cluster.LocalHeterogeneous(sim, 4)
+		var trace []string
+		rt := deploy(sameTimeScenario(&trace), g)
+		var seen []obs
+		sim.Spawn("workload", func(p *des.Proc) {
+			for i := 0; i < 5; i++ {
+				p.Sleep(10 * time.Millisecond)
+				seen = append(seen, obs{p.Now(), rt.Events()})
+			}
+		})
+		sim.Run()
+		return seen
+	}
+	goroutine := run(Deploy)
+	eventLoop := run(DeployEventLoop)
+	if !reflect.DeepEqual(goroutine, eventLoop) {
+		t.Errorf("workload observed different perturbation progress:\n goroutine  %v\n event-loop %v", goroutine, eventLoop)
 	}
 }

@@ -1,0 +1,145 @@
+package simfast_test
+
+// The differential harness: every cell of the default experiment matrix,
+// executed by both the goroutine DES engine (backend "sim") and the
+// continuation engine (backend "sim-fast"), must produce byte-identical
+// Report rows. Equivalence is by construction (each suspension point of
+// the goroutine engine maps onto a continuation that performs identical
+// Schedule calls — see the simfast package doc); this harness is the
+// regression guard that keeps the two engines from drifting apart.
+//
+// SIMFAST_DIFF_N overrides the reduced problem size (default 600; CI runs
+// a 1500-unknown leg). The iteration cap is lowered so the asynchronous
+// ADSL cells — which would otherwise spin through millions of iterations —
+// exercise the capped-stop path instead of dominating the test's runtime;
+// a capped run compares exactly like a converged one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"aiac/internal/aiac"
+	"aiac/internal/matrix"
+	"aiac/internal/report"
+)
+
+func diffSize(tb testing.TB) int {
+	if s := os.Getenv("SIMFAST_DIFF_N"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			tb.Fatalf("bad SIMFAST_DIFF_N %q: %v", s, err)
+		}
+		return n
+	}
+	return 600
+}
+
+// normalize clears the only field that legitimately differs between the
+// two backends' rows: the backend name itself. Everything else — timings,
+// iteration counts, traffic, protocol counters, convergence outcome — must
+// match bit for bit. (RunCellOnce does not populate host-side timing.)
+func normalize(r report.Result) report.Result {
+	r.Backend = ""
+	return r
+}
+
+// runBoth executes one repetition of the cell on both engines and fails
+// the test on any row difference.
+func runBoth(t *testing.T, c matrix.Cell, spec matrix.Spec, rep int, seed int64) {
+	t.Helper()
+	c.Backend = "sim"
+	slow, err := matrix.RunCellOnce(c, spec, rep, seed, 0, nil)
+	if err != nil {
+		t.Fatalf("sim %s seed %d: %v", c.Key(), seed, err)
+	}
+	c.Backend = "sim-fast"
+	fast, err := matrix.RunCellOnce(c, spec, rep, seed, 0, nil)
+	if err != nil {
+		t.Fatalf("sim-fast %s seed %d: %v", c.Key(), seed, err)
+	}
+	a, err := json.Marshal(normalize(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(normalize(fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("engines diverged on %s seed %d:\n  sim:      %s\n  sim-fast: %s", c.Key(), seed, a, b)
+	}
+}
+
+// seeds covers the jitter-free bit-reproducible run plus three distinct
+// per-message network-jitter streams.
+var seeds = []int64{0, 1, 2, 7}
+
+// TestDifferentialDefaultMatrix sweeps every env×mode×grid combination of
+// the default matrix (the paper's linear-problem sweep) at reduced size
+// through both engines, across four seeds.
+func TestDifferentialDefaultMatrix(t *testing.T) {
+	spec := matrix.DefaultSpec()
+	spec.Sizes = []int{diffSize(t)}
+	// Cap the asynchronous ADSL spins; a capped report differentials the
+	// same as a converged one (and covers the cap-stop path).
+	spec.Linear.MaxIters = 12000
+	for _, c := range spec.Cells() {
+		c := c
+		t.Run(fmt.Sprintf("%s-%s-%s", c.Env, c.Mode, c.Grid), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				runBoth(t, c, spec, 0, seed)
+			}
+		})
+	}
+}
+
+// TestDifferentialScenarios runs perturbation cells — the flaky ADSL
+// uplink and the lossy WAN — through both engines: scenario events,
+// crash/recovery epochs, restarts and reconvergence accounting must all
+// land on identical virtual times.
+func TestDifferentialScenarios(t *testing.T) {
+	spec := matrix.DefaultSpec()
+	spec.Sizes = []int{diffSize(t)}
+	spec.Linear.MaxIters = 12000
+	cells := []matrix.Cell{
+		{Env: "pm2", Mode: aiac.Async, Grid: "adsl", Problem: "linear", Procs: 8, Size: diffSize(t), Scenario: "flaky-adsl"},
+		{Env: "omniorb", Mode: aiac.Async, Grid: "adsl", Problem: "linear", Procs: 8, Size: diffSize(t), Scenario: "flaky-adsl"},
+		{Env: "madmpi", Mode: aiac.Async, Grid: "3site", Problem: "linear", Procs: 8, Size: diffSize(t), Scenario: "lossy-wan"},
+		{Env: "mpi", Mode: aiac.Sync, Grid: "3site", Problem: "linear", Procs: 8, Size: diffSize(t), Scenario: "lossy-wan"},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(fmt.Sprintf("%s-%s-%s-%s", c.Env, c.Mode, c.Grid, c.Scenario), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				runBoth(t, c, spec, 0, seed)
+			}
+		})
+	}
+}
+
+// TestDifferentialChem runs the non-linear problem through both engines:
+// the classical global-Newton synchronous path (mpi×sync, strategy 1 —
+// RunChemSyncGlobal versus its continuation twin) and the multisplitting
+// path on both modes.
+func TestDifferentialChem(t *testing.T) {
+	spec := matrix.DefaultSpec()
+	cells := []matrix.Cell{
+		{Env: "mpi", Mode: aiac.Sync, Grid: "3site", Problem: "chem", Procs: 8, Size: 12},
+		{Env: "pm2", Mode: aiac.Async, Grid: "3site", Problem: "chem", Procs: 8, Size: 12},
+		{Env: "madmpi", Mode: aiac.Sync, Grid: "local", Problem: "chem", Procs: 8, Size: 12},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(fmt.Sprintf("%s-%s-%s", c.Env, c.Mode, c.Grid), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []int64{0, 5} {
+				runBoth(t, c, spec, 0, seed)
+			}
+		})
+	}
+}

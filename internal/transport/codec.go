@@ -76,6 +76,11 @@ func DecodeMsg(b []byte) (Msg, error) {
 	if m.Type < MsgData || m.Type > MsgReduceResult {
 		return m, fmt.Errorf("%w: unknown type %d", ErrBadFrame, b[1])
 	}
+	if b[2] > 1 {
+		// AppendMsg only ever writes 0 or 1: anything else is a
+		// desynchronised or corrupt stream, not a boolean.
+		return m, fmt.Errorf("%w: flag byte %d", ErrBadFrame, b[2])
+	}
 	m.Flag = b[2] != 0
 	m.From = int32(b[3])
 	m.Key = int32(le.Uint32(b[4:]))
