@@ -52,6 +52,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -60,6 +62,7 @@ import (
 
 	"aiac/internal/bench"
 	"aiac/internal/matrix"
+	"aiac/internal/obs"
 	"aiac/internal/problems"
 	"aiac/internal/report"
 )
@@ -85,6 +88,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "re-run a cell whose attempt ended in an error up to this many extra times (the attempt count is recorded)")
 		baseline  = flag.String("baseline", "", "saved results file to diff this run against")
 		failDelta = flag.Float64("faildelta", 0, "with -baseline: exit non-zero if any shared cell's time drifts more than this many percent, or outcomes change (0 = report only)")
+		httpAddr  = flag.String("http", "", "serve live sweep observability on this address (e.g. :8080 or 127.0.0.1:0): /progress (state+ETA JSON), /metrics (Prometheus), /debug/pprof")
 
 		// Paper-table mode flags.
 		table  = flag.Int("table", 0, "regenerate paper table 1, 2, 3 or 4 instead of sweeping")
@@ -99,7 +103,7 @@ func main() {
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *table != 0 || *figure != 0 || *all {
-		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "backend", "timeout", "reps", "seed", "workers", "list", "o", "resume", "retries", "baseline", "faildelta"} {
+		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "backend", "timeout", "reps", "seed", "workers", "list", "o", "resume", "retries", "baseline", "faildelta", "http"} {
 			if explicit[name] {
 				fmt.Fprintf(os.Stderr, "-%s is a matrix-sweep flag; it has no effect with -table/-figure/-all\n", name)
 				os.Exit(2)
@@ -186,6 +190,23 @@ func main() {
 		}
 	}
 
+	// Sweep telemetry is always collected (it is how the flags column and
+	// the weight-based ETA are computed); -http additionally serves it
+	// live. Listen before sweeping so a bad address fails in milliseconds.
+	metrics := obs.NewRegistry()
+	progress := obs.NewSweep(*workers)
+	if *httpAddr != "" {
+		ln, lerr := net.Listen("tcp", *httpAddr)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "-http %s: %v\n", *httpAddr, lerr)
+			os.Exit(2)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, obs.NewMux(metrics, progress)) }()
+		fmt.Printf("observability: http://%s/progress http://%s/metrics http://%s/debug/pprof/\n",
+			ln.Addr(), ln.Addr(), ln.Addr())
+	}
+
 	fmt.Printf("sweeping %d cells with %d workers, %d rep(s) per cell\n", len(cells), *workers, *reps)
 	if sidecarPath != "" {
 		fmt.Printf("streaming completed cells to %s\n", sidecarPath)
@@ -198,13 +219,15 @@ func main() {
 	done, executed, reused := 0, 0, 0
 	start := time.Now()
 	set, err := matrix.Run(spec, matrix.Options{
-		Workers: *workers,
-		Timeout: *timeout,
-		Reps:    *reps,
-		Seed:    *seed,
-		Retries: *retries,
-		Sidecar: sidecar,
-		Prior:   prior,
+		Workers:  *workers,
+		Timeout:  *timeout,
+		Reps:     *reps,
+		Seed:     *seed,
+		Retries:  *retries,
+		Sidecar:  sidecar,
+		Prior:    prior,
+		Metrics:  metrics,
+		Progress: progress,
 		OnResult: func(r report.Result) {
 			done++
 			status := fmt.Sprintf("%12s  iters=%d", report.FmtSec(r.TimeSec), r.Iters)
@@ -218,13 +241,17 @@ func main() {
 			if !r.Resumed {
 				executed++
 			}
-			// ETA from the mean host time of the cells this run actually
-			// executed — a coarse progress hint, not a promise (workers
-			// overlap and cell costs vary widely).
+			if r.Flags != "" {
+				status += "  flags=" + r.Flags
+			}
+			// ETA from the sweep tracker: remaining schedule weight over the
+			// observed weight-completion rate. Cells reused from -resume
+			// contribute to neither side, so a resumed sweep's estimate
+			// covers only the work actually left — a coarse hint, not a
+			// promise (workers overlap and the weights are estimates).
 			eta := ""
-			if remaining := len(cells) - done; remaining > 0 && executed > 0 {
-				per := time.Since(start) / time.Duration(executed)
-				eta = fmt.Sprintf("  eta ~%s", (per * time.Duration(remaining)).Round(time.Second))
+			if snap := progress.Snapshot(); snap.EtaSec >= 0 && done < len(cells) {
+				eta = fmt.Sprintf("  eta ~%s", (time.Duration(snap.EtaSec * float64(time.Second))).Round(time.Second))
 			}
 			fmt.Printf("[%3d/%d] %-44s %s%s\n", done, len(cells), r.Key(), status, eta)
 		},
@@ -267,6 +294,9 @@ func main() {
 	}
 	if dg := set.DegradationTable(); dg != "" {
 		fmt.Print(dg)
+	}
+	if fl := set.FlagsTable(); fl != "" {
+		fmt.Print(fl)
 	}
 	if cal := set.CalibrationTable(); cal != "" {
 		fmt.Print(cal)

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,6 +33,8 @@ import (
 	"aiac/internal/env/envcore"
 	"aiac/internal/la"
 	"aiac/internal/matrix"
+	"aiac/internal/netsim"
+	"aiac/internal/obs"
 	"aiac/internal/problems"
 	"aiac/internal/report"
 	"aiac/internal/scenario"
@@ -54,6 +57,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "run-variation seed, as in aiacbench: network jitter on the simulator, deterministic scenario loss shaping on a native backend (0 = off)")
 		balanced = flag.Bool("balanced", false, "speed-proportional row blocks")
 		gantt    = flag.Bool("gantt", false, "print the execution-flow chart")
+		metrics  = flag.Bool("metrics", false, "print the run's metrics in Prometheus text format, stamped with the virtual clock (includes per-rank idle fractions)")
 		scenF    = flag.String("scenario", "static", "grid-dynamics scenario (one of: static, flaky-adsl, diurnal-load, node-churn, lossy-wan; native backends run the first three)")
 		backendF = flag.String("backend", "sim", "execution backend: sim (discrete-event simulation, goroutine engine), sim-fast (same simulation on the continuation engine), chan or tcp (native wall-clock run)")
 		timeout  = flag.Duration("timeout", matrix.DefaultNativeTimeout, "wall-clock guard of a native run: cancelled and reported as STALL beyond this")
@@ -116,7 +120,7 @@ func main() {
 		// flags that would be silently ignored.
 		explicit := make(map[string]bool)
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, name := range []string{"env", "balanced", "gantt"} {
+		for _, name := range []string{"env", "balanced", "gantt", "metrics"} {
 			if explicit[name] {
 				fmt.Fprintf(os.Stderr, "-%s applies to the simulator; a native -backend run ignores it (the environment is the Go runtime)\n", name)
 				os.Exit(2)
@@ -165,7 +169,7 @@ func main() {
 	}
 
 	var tr *trace.Collector
-	if *gantt {
+	if *gantt || *metrics {
 		tr = trace.New()
 	}
 	fast := *backendF == "sim-fast"
@@ -194,7 +198,8 @@ func main() {
 	if *balanced {
 		prob.Weights = grid.SpeedWeights()
 	}
-	cfg := aiac.Config{Mode: m, Eps: *eps, MaxIters: *maxIters, Trace: tr, Dynamics: rt}
+	resid := obs.NewResiduals(*procs)
+	cfg := aiac.Config{Mode: m, Eps: *eps, MaxIters: *maxIters, Trace: tr, Dynamics: rt, Residuals: resid}
 
 	fmt.Printf("solving n=%d (%d diagonals, rho<%.2f) on %s with %s, %s, %d procs, scenario %s\n",
 		*n, *diags, *rho, *gridName, env.Name(), m, *procs, scen.Name)
@@ -218,9 +223,52 @@ func main() {
 	st := grid.Net.StatsSnapshot()
 	fmt.Printf("network:       %d messages, %.1f MB (%d inter-site, %d dropped)\n",
 		st.Messages, float64(st.Bytes)/1e6, st.InterSite, st.Dropped)
+	converged := rep.Reason == aiac.StopConverged && rep.TaintedRestarts == 0
+	flags := obs.Detect(resid, converged, obs.DetectorParams{Eps: *eps})
+	if len(flags) > 0 {
+		fmt.Printf("red flags:     %s\n", strings.Join(flags, ", "))
+	}
 	if *gantt {
 		fmt.Println()
 		fmt.Print(tr.Gantt(96))
+	}
+	if *metrics {
+		fmt.Println()
+		printMetrics(rep, tr, st, flags)
+	}
+}
+
+// printMetrics renders the finished run as Prometheus text. Series are
+// stamped with the simulation's virtual clock (the solve's elapsed virtual
+// time), not the host's wall clock: scraping never happened, the exposition
+// is a record of the run.
+func printMetrics(rep *aiac.Report, tr *trace.Collector, st netsim.Stats, flags []string) {
+	reg := obs.NewRegistry()
+	elapsed := rep.Elapsed.Seconds()
+	reg.SetTimeSource(func() float64 { return elapsed })
+
+	reg.Gauge("aiac_run_time_seconds", "Virtual elapsed time of the solve.").With().Set(elapsed)
+	iters := reg.Counter("aiac_iterations_total", "Local iterations performed, per rank.", "rank")
+	idle := reg.Gauge("aiac_rank_idle_fraction", "Fraction of the run the rank spent idle (blocked on synchronous exchanges).", "rank")
+	for r, n := range rep.ItersPerRank {
+		rank := strconv.Itoa(r)
+		iters.With(rank).Add(float64(n))
+		idle.With(rank).Set(tr.IdleFraction(r))
+	}
+	reg.Counter("aiac_messages_total", "Data/control messages delivered.").With().Add(float64(st.Messages))
+	reg.Counter("aiac_bytes_total", "Bytes carried by delivered messages.").With().Add(float64(st.Bytes))
+	reg.Counter("aiac_messages_dropped_total", "Messages lost to scenario loss models or crashed nodes.").With().Add(float64(st.Dropped))
+	reg.Counter("aiac_state_messages_total", "Convergence-protocol state messages.").With().Add(float64(rep.StateMsgs))
+	reg.Counter("aiac_restarts_total", "Rank crash/restart cycles observed.").With().Add(float64(rep.Restarts))
+	reg.Counter("aiac_heartbeats_total", "Confirmed-state re-sends (protocol heartbeats).").With().Add(float64(rep.Heartbeats))
+	reg.Counter("aiac_stop_rebroadcasts_total", "Coordinator post-stop stop repeats.").With().Add(float64(rep.StopRebroadcasts))
+	reg.Counter("aiac_reconfirm_rounds_total", "Post-state-loss re-confirmation rounds.").With().Add(float64(rep.ReconfirmRounds))
+	for _, f := range flags {
+		reg.Counter("aiac_redflags_total", "Convergence red-flag verdicts raised by the trajectory detectors.", "flag").With(f).Inc()
+	}
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

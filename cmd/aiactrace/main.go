@@ -13,6 +13,12 @@
 //	aiactrace -figure sisc -width 120          # Figure 1 only, wider chart
 //	aiactrace -env pm2 -mode async -grid adsl -procs 8 -n 3000
 //	aiactrace -env mpi -mode sync -grid adsl -scenario flaky-adsl
+//
+// With -chrome, the cell's trace is additionally exported as Chrome
+// trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing:
+//
+//	aiactrace -env mpi -grid adsl -scenario flaky-adsl -chrome trace.json
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 
 	"aiac/internal/bench"
 	"aiac/internal/matrix"
+	"aiac/internal/obs"
 	"aiac/internal/report"
 	"aiac/internal/trace"
 )
@@ -40,6 +47,8 @@ func main() {
 		size     = flag.Int("n", 0, "problem size (0 = per-problem default)")
 		scenF    = flag.String("scenario", "static", "grid-dynamics scenario")
 		seed     = flag.Int64("seed", 0, "network-jitter seed (0 = off), as in aiacbench")
+		backendF = flag.String("backend", "sim", "execution backend of the cell: sim or sim-fast (tracing needs a simulated backend)")
+		chromeF  = flag.String("chrome", "", "also write the trace as Chrome trace-event JSON to this file (Perfetto-loadable)")
 	)
 	flag.Parse()
 
@@ -47,7 +56,7 @@ func main() {
 	// of silently ignoring them (same policy as aiacbench).
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	cellFlags := []string{"mode", "grid", "problem", "procs", "n", "scenario", "seed"}
+	cellFlags := []string{"mode", "grid", "problem", "procs", "n", "scenario", "seed", "backend", "chrome"}
 	if *envF == "" {
 		for _, name := range cellFlags {
 			if explicit[name] {
@@ -82,7 +91,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cell, spec, err := buildCell(*envF, *modeF, *gridF, *problemF, *scenF, *procs, *size)
+	cell, spec, err := buildCell(*envF, *modeF, *gridF, *problemF, *scenF, *backendF, *procs, *size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -93,6 +102,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *chromeF != "" {
+		f, err := os.Create(*chromeF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, tr); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace-event JSON to %s (open in https://ui.perfetto.dev)\n", *chromeF)
 	}
 	fmt.Print(tr.Gantt(*width))
 	status := "converged"
@@ -110,7 +136,7 @@ func main() {
 }
 
 // buildCell resolves the cell flags through the shared matrix axis parsing.
-func buildCell(env, mode, grid, problem, scen string, procs, size int) (matrix.Cell, matrix.Spec, error) {
+func buildCell(env, mode, grid, problem, scen, backend string, procs, size int) (matrix.Cell, matrix.Spec, error) {
 	spec := matrix.DefaultSpec()
 	var c matrix.Cell
 	envs, err := matrix.ParseEnvs(env)
@@ -148,9 +174,19 @@ func buildCell(env, mode, grid, problem, scen string, procs, size int) (matrix.C
 		}
 		return c, spec, err
 	}
+	backends, err := matrix.ParseBackends(backend)
+	if err != nil || len(backends) != 1 {
+		if err == nil {
+			err = fmt.Errorf("-backend takes a single backend")
+		}
+		return c, spec, err
+	}
+	if !matrix.SimulatedBackend(backends[0]) {
+		return c, spec, fmt.Errorf("tracing needs a simulated backend (sim or sim-fast), not %s", backends[0])
+	}
 	c = matrix.Cell{
 		Env: envs[0], Mode: modes[0], Grid: grids[0], Problem: problems[0],
-		Procs: procs, Size: size, Scenario: scens[0],
+		Procs: procs, Size: size, Scenario: scens[0], Backend: backends[0],
 	}
 	if c.Size == 0 {
 		c.Size = matrix.DefaultSizeFor(c.Problem)

@@ -30,6 +30,7 @@ package aiac
 
 import (
 	"aiac/internal/des"
+	"aiac/internal/obs"
 	"aiac/internal/protocol"
 	"aiac/internal/trace"
 )
@@ -227,6 +228,11 @@ type Config struct {
 	StateHeartbeat des.Time
 	// Trace, when non-nil, records execution flow for Figures 1-2.
 	Trace *trace.Collector
+	// Residuals, when non-nil, records each rank's residual after every
+	// iteration (downsampled) plus crash-restart marks, feeding the
+	// convergence red-flag detectors (internal/obs). Recording is
+	// write-only side state and cannot perturb the simulation.
+	Residuals *obs.Residuals
 	// Dynamics, when non-nil, is the grid-dynamics scenario perturbing
 	// this solve (crash epochs and perturbation times; the network and
 	// CPU mutations happen underneath the engine).

@@ -191,6 +191,7 @@ func (e *run) recoverRank(p *des.Proc, r int) {
 	e.cfg.Dynamics.WaitUp(p, r)
 	e.epochs[r] = e.cfg.Dynamics.Epoch(r)
 	e.restarts++
+	e.cfg.Residuals.MarkRestart(r, p.Now().Seconds())
 	copy(e.xs[r], e.x0)
 	for k := range e.heard[r] {
 		delete(e.heard[r], k)
@@ -315,6 +316,7 @@ func (e *run) runAsync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64)
 		cpu.Compute(p, flops)
 		cfg.Trace.AddSpan(r, t0, p.Now(), trace.Compute, iter)
 		e.iters[r]++
+		cfg.Residuals.Record(r, p.Now().Seconds(), res)
 
 		// Asynchronous sends: skipped when the previous send of the same
 		// data to the same destination is still in flight.
@@ -373,6 +375,7 @@ func (e *run) runSync(p *des.Proc, r int, comm Comm, cpu cpuIface, x []float64) 
 		t1 := p.Now()
 		cfg.Trace.AddSpan(r, t0, t1, trace.Compute, iter)
 		e.iters[r]++
+		cfg.Residuals.Record(r, t1.Seconds(), res)
 
 		sends := make([]Outgoing, 0, len(e.plan.Targets[r]))
 		for _, tgt := range e.plan.Targets[r] {

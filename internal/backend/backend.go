@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"aiac/internal/aiac"
+	"aiac/internal/obs"
 	"aiac/internal/protocol"
 	"aiac/internal/transport"
 )
@@ -72,6 +73,12 @@ type Config struct {
 	// deadlocks silently, and this watchdog is what turns that into a
 	// reported STALL. Zero disables it.
 	StallAfter time.Duration
+	// Residuals, when non-nil, records each rank's residual trajectory
+	// (downsampled, stamped with wall seconds since the solve's epoch) for
+	// the convergence red-flag detectors (internal/obs). Each rank's loop
+	// is the sole writer of its own timeline, so recording needs no locks
+	// and cannot serialize ranks against each other.
+	Residuals *obs.Residuals
 }
 
 // protocolParams resolves the protocol tunables against the shared
@@ -589,6 +596,7 @@ func (s *solver) runAsync(r int) {
 		s.mus[r].Unlock()
 		s.iters[r]++
 		s.stall.Tick()
+		cfg.Residuals.Record(r, s.now().Seconds(), res)
 
 		for i, tg := range targets {
 			select {
@@ -659,6 +667,7 @@ func (s *solver) runSync(r int) {
 		s.mus[r].Unlock()
 		s.iters[r]++
 		s.stall.Tick()
+		cfg.Residuals.Record(r, s.now().Seconds(), res)
 
 		// Blocking exchange: the sends of one round overlap (one helper
 		// per target, like MPI_Isend + Waitall), then block until every

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"aiac/internal/env/envcore"
 	"aiac/internal/gmres"
 	"aiac/internal/la"
+	"aiac/internal/obs"
 	"aiac/internal/problems"
 	"aiac/internal/protocol"
 	"aiac/internal/report"
@@ -80,6 +82,15 @@ type Options struct {
 	// changed still refine the longest-expected-first schedule with their
 	// measured host time.
 	Prior []report.SidecarRow
+	// Metrics, when non-nil, receives the sweep's telemetry (cells by
+	// state, host time, traffic, protocol counters, red flags) as cells
+	// complete — the registry behind aiacbench's /metrics endpoint.
+	Metrics *obs.Registry
+	// Progress, when non-nil, tracks every cell's lifecycle with its
+	// makespan-schedule weight — the state behind aiacbench's /progress
+	// endpoint and its weight-based ETA. Cells satisfied from Prior are
+	// marked cached, so a resumed sweep's ETA covers only the work left.
+	Progress *obs.Sweep
 }
 
 // ErrPersist marks a sweep whose measurements completed but whose sidecar
@@ -115,11 +126,19 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 	results := make([]report.Result, len(cells))
 	var mu sync.Mutex
 	emit := func(r report.Result) {
+		recordResult(opt.Metrics, r)
 		if opt.OnResult != nil {
 			mu.Lock()
 			opt.OnResult(r)
 			mu.Unlock()
 		}
+	}
+
+	// Register every cell with its schedule weight before anything runs,
+	// so /progress shows the full sweep (and its remaining-weight ETA)
+	// from the first scrape.
+	for _, c := range cells {
+		opt.Progress.Register(c.Key(), expectedCost(c, prior))
 	}
 
 	// Resolve each cell against the prior rows before anything runs:
@@ -132,6 +151,7 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 		if r, ok := prior.lookup(keys[i]); ok {
 			r.Resumed = true
 			results[i] = r
+			opt.Progress.FinishedCached(c.Key())
 			emit(r)
 			continue
 		}
@@ -161,8 +181,10 @@ func Run(spec Spec, opt Options) (*report.Set, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
+					opt.Progress.Started(cells[i].Key())
 					r := runCell(cells[i], spec, reps, opt.Seed, opt.Timeout, opt.Retries, cache)
 					results[i] = r
+					opt.Progress.Finished(cells[i].Key(), r.HostSec, r.Error != "")
 					if opt.Sidecar != nil {
 						if err := opt.Sidecar.Append(keys[i], r); err != nil {
 							mu.Lock()
@@ -234,6 +256,10 @@ type measurement struct {
 	rebroadcasts int
 	reconfirms   int
 	proto        protocol.Params
+
+	// flags holds the repetition's convergence red-flag verdicts
+	// (internal/obs detectors), comma-separated and sorted.
+	flags string
 }
 
 // less orders measurements lexicographically over every field — a total
@@ -282,7 +308,10 @@ func (m measurement) less(o measurement) bool {
 	if m.rebroadcasts != o.rebroadcasts {
 		return m.rebroadcasts < o.rebroadcasts
 	}
-	return m.reconfirms < o.reconfirms
+	if m.reconfirms != o.reconfirms {
+		return m.reconfirms < o.reconfirms
+	}
+	return m.flags < o.flags
 }
 
 // result converts the repetition into a single-rep report.Result for c.
@@ -294,7 +323,7 @@ func (m measurement) result(c Cell) report.Result {
 		Messages: m.messages, Bytes: m.bytes, InterSite: m.interSite,
 		Dropped: m.dropped, Residual: m.residual, Converged: m.converged,
 		Stalled: m.stalled, ReconvergeSec: m.reconvergeSec, Restarts: m.restarts,
-		WallSec:    m.wallSec,
+		WallSec: m.wallSec, Flags: m.flags,
 		Heartbeats: m.heartbeats, StopRebroadcasts: m.rebroadcasts, ReconfirmRounds: m.reconfirms,
 		GraceSec: m.proto.Grace.Seconds(), HeartbeatSec: m.proto.Heartbeat.Seconds(),
 		PersistIters: m.proto.PersistIters,
@@ -399,6 +428,7 @@ func aggregate(c Cell, ms []measurement) report.Result {
 	out.MinTimeSec = ms[0].timeSec
 	out.Converged, out.Stalled = true, false
 	out.Restarts, out.ReconvergeSec, out.Dropped = 0, 0, 0
+	flags := make(map[string]bool)
 	for _, m := range ms {
 		out.Converged = out.Converged && m.converged
 		out.Stalled = out.Stalled || m.stalled
@@ -409,6 +439,22 @@ func aggregate(c Cell, ms []measurement) report.Result {
 		if m.dropped > out.Dropped {
 			out.Dropped = m.dropped
 		}
+		for _, f := range strings.Split(m.flags, ",") {
+			if f != "" {
+				flags[f] = true
+			}
+		}
+	}
+	// Union the red flags across repetitions — like the stall fold, a
+	// pathological non-median repetition must not hide behind a clean
+	// median.
+	if len(flags) > 0 {
+		fs := make([]string, 0, len(flags))
+		for f := range flags {
+			fs = append(fs, f)
+		}
+		sort.Strings(fs)
+		out.Flags = strings.Join(fs, ",")
 	}
 	return out
 }
@@ -475,11 +521,16 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 		rt = scenario.Deploy(scen, grid)
 	}
 
+	// Residual timelines are always recorded: the acceptance contract is
+	// that telemetry ON leaves the simulation byte-identical, and the
+	// flags column must be present in every sweep. The engines record into
+	// side arrays only, so the event sequence cannot change.
+	resid := obs.NewResiduals(c.Procs)
 	var m measurement
 	linearLike := func(prob aiac.Problem, xtrue []float64, eps float64, maxIters int) {
 		rpt := engine(grid, env, prob, aiac.Config{
 			Mode: c.Mode, Eps: eps, MaxIters: maxIters,
-			Trace: tr, Dynamics: rt,
+			Trace: tr, Dynamics: rt, Residuals: resid,
 		})
 		m.timeSec = rpt.Elapsed.Seconds()
 		m.iters = rpt.TotalIters()
@@ -523,7 +574,7 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 			// Multisplitting Newton (§4.2 strategy 2), asynchronous or
 			// lockstep according to the mode.
 			run = problems.RunChemWith(engine, grid, env, p, p.InitialState(),
-				cp.StepS, cp.HorizonS, gp, aiac.Config{Mode: c.Mode, Eps: cp.Eps, Trace: tr, Dynamics: rt})
+				cp.StepS, cp.HorizonS, gp, aiac.Config{Mode: c.Mode, Eps: cp.Eps, Trace: tr, Dynamics: rt, Residuals: resid})
 		}
 		m.timeSec = run.Elapsed.Seconds()
 		m.iters = run.TotalIters()
@@ -540,6 +591,7 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 	default:
 		return measurement{}, fmt.Errorf("unknown problem %q", c.Problem)
 	}
+	m.flags = strings.Join(obs.Detect(resid, m.converged, obs.DetectorParams{Eps: cellEps(c, spec)}), ",")
 	st := grid.Net.StatsSnapshot()
 	m.messages = st.Messages
 	m.bytes = st.Bytes
@@ -576,6 +628,10 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, ca
 	if lossSeed != 0 {
 		lossSeed += int64(rep)
 	}
+	// Residual timelines for the red-flag detectors; native flags are
+	// informational (wall-clock trajectories are not deterministic), so
+	// Regressions never gates on them.
+	resid := obs.NewResiduals(c.Procs)
 	// One solve over a freshly shaped transport; the chem loop below runs
 	// it once per time step.
 	solve := func(prob aiac.Problem, eps float64, maxIters int) (*backend.Report, error) {
@@ -589,6 +645,7 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, ca
 		return backend.Run(prob, tr, backend.Config{
 			Mode: c.Mode, Eps: eps, MaxIters: maxIters,
 			Timeout: timeout, StallAfter: stallAfter,
+			Residuals: resid,
 		})
 	}
 	fold := func(m *measurement, rpt *backend.Report, xtrue []float64) {
@@ -658,5 +715,19 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, ca
 	default:
 		return measurement{}, fmt.Errorf("unknown problem %q", c.Problem)
 	}
+	m.flags = strings.Join(obs.Detect(resid, m.converged, obs.DetectorParams{Eps: cellEps(c, spec)}), ",")
 	return m, nil
+}
+
+// cellEps is the convergence threshold the cell's problem solves to — the
+// scale the red-flag detectors judge residual trajectories against.
+func cellEps(c Cell, spec Spec) float64 {
+	switch c.Problem {
+	case "newton":
+		return spec.Newton.Eps
+	case "chem":
+		return spec.Chem.Eps
+	default:
+		return spec.Linear.Eps
+	}
 }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"aiac/internal/des"
+	"aiac/internal/trace"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	tc := trace.New()
+	ms := des.Time(1e6)
+	tc.AddSpan(0, 0, 2*ms, trace.Compute, 1)
+	tc.AddSpan(0, 2*ms, 3*ms, trace.Idle, 1)
+	tc.AddSpan(1, 0, 3*ms, trace.Compute, 1)
+	tc.AddMsg(0, 1, 2*ms, 5*ms)
+
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, tc); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TsUS  float64        `json:"ts"`
+			DurUS float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	var compute, idle, msgs, threadNames int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Phase == "M" && e.Name == "thread_name":
+			threadNames++
+		case e.Phase == "X" && e.Name == "compute":
+			compute++
+			if e.DurUS <= 0 {
+				t.Errorf("compute event with dur %v", e.DurUS)
+			}
+		case e.Phase == "X" && e.Name == "idle":
+			idle++
+		case e.Phase == "X" && e.PID == pidMessages:
+			msgs++
+			if e.Name != "P0→P1" {
+				t.Errorf("message event name %q", e.Name)
+			}
+			if e.TsUS != 2000 || e.DurUS != 3000 {
+				t.Errorf("message ts/dur = %v/%v, want 2000/3000", e.TsUS, e.DurUS)
+			}
+		}
+	}
+	if compute != 2 || idle != 1 || msgs != 1 {
+		t.Errorf("events: compute=%d idle=%d msgs=%d, want 2/1/1", compute, idle, msgs)
+	}
+	if threadNames < 2 {
+		t.Errorf("thread_name metadata events = %d, want >= 2", threadNames)
+	}
+}
+
+func TestWriteChromeTraceNil(t *testing.T) {
+	if err := WriteChromeTrace(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("want error for nil collector")
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+// HTTP surface: NewMux wires a registry and a sweep tracker into the
+// endpoint `aiacbench -http` serves — the seed of the aiacfarm API.
+//
+//	GET /           tiny index linking the endpoints
+//	GET /progress   sweep progress JSON (Sweep.Snapshot)
+//	GET /metrics    Prometheus text exposition (Registry.WritePrometheus)
+//	GET /debug/pprof/...  net/http/pprof profiling hooks
+//
+// The handlers only read snapshots under the tracker/registry locks, so
+// scraping a running sweep cannot block or perturb it.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux returns the observability HTTP handler. Either argument may be
+// nil; the corresponding endpoint then serves an empty document.
+func NewMux(reg *Registry, sw *Sweep) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(`<html><body><h1>aiacbench</h1><ul>
+<li><a href="/progress">/progress</a> — sweep progress JSON</li>
+<li><a href="/metrics">/metrics</a> — Prometheus metrics</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — profiling</li>
+</ul></body></html>`))
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(sw.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	// net/http/pprof registers on DefaultServeMux at import; route the
+	// same handlers explicitly so we never serve DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

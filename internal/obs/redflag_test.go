@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// synth builds a one-rank Residuals from a residual sequence sampled at
+// t = 0, 1, 2, ...
+func synth(res []float64, restarts ...float64) *Residuals {
+	rs := NewResiduals(1)
+	for i, v := range res {
+		rs.Record(0, float64(i), v)
+	}
+	for _, at := range restarts {
+		rs.MarkRestart(0, at)
+	}
+	return rs
+}
+
+// geometric returns n residuals decaying from start by factor per step.
+func geometric(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+func TestDetectRedFlags(t *testing.T) {
+	eps := 1e-5
+	p := DetectorParams{Eps: eps}
+
+	oscillating := make([]float64, 0, 200)
+	for i := 0; i < 10; i++ {
+		// Decay toward 1e-4, then blow up 4 orders of magnitude, repeatedly.
+		oscillating = append(oscillating, geometric(1, 0.5, 15)...)
+		oscillating = append(oscillating, 3e3)
+		oscillating = append(oscillating, geometric(1e3, 0.3, 4)...)
+	}
+
+	plateau := append(geometric(1, 0.7, 20), geometric(1e-3, 0.9999, 60)...)
+
+	// Converges to 1e-8, crashes, and after restart never gets below 1e-2.
+	regress := geometric(1, 0.4, 20)
+	restartAt := float64(len(regress))
+	regress = append(regress, geometric(10, 0.8, 30)...)
+
+	cases := []struct {
+		name      string
+		rs        *Residuals
+		converged bool
+		want      []string
+	}{
+		{"clean convergence", synth(geometric(1, 0.6, 40)), true, nil},
+		{"clean long convergence", synth(geometric(1, 0.95, 400)), true, nil},
+		{"noisy but healthy", synth([]float64{1, 0.8, 1.1, 0.5, 0.6, 0.3, 0.35, 0.2, 0.1, 0.12, 0.05, 0.02, 0.01, 0.005, 0.002, 1e-3, 5e-4, 1e-4, 1e-5, 1e-6}), true, nil},
+		{"oscillation even if converged", synth(oscillating), true, []string{FlagOscillation}},
+		{"oscillation plus stuck", synth(oscillating), false, []string{FlagOscillation, FlagPlateau}},
+		{"plateau", synth(plateau), false, []string{FlagPlateau}},
+		{"plateau ignored when converged", synth(plateau), true, nil},
+		{"budget ran out while progressing", synth(geometric(1, 0.9, 100)), false, nil},
+		{"post-restart regression", synth(regress, restartAt), false, []string{FlagRestartRegression}},
+		{"recovered restart", synth(append(geometric(1, 0.4, 20), geometric(10, 0.4, 40)...), 20), true, nil},
+		{"restart with no pre samples", synth(geometric(1, 0.5, 30), 0), true, nil},
+		{"empty timeline", NewResiduals(3), false, nil},
+		{"nil residuals", nil, false, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Detect(tc.rs, tc.converged, p)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Detect() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDetectMultipleFlagsSorted(t *testing.T) {
+	// Decay, then bounce around a stuck level with repeated blow-ups all
+	// the way to the end: oscillation and plateau together, sorted.
+	res := geometric(1, 0.7, 20)
+	for i := 0; i < 12; i++ {
+		res = append(res, 1e-3, 2e-3, 5e3, 1.5e-3, 1e-3)
+	}
+	got := Detect(synth(res), false, DetectorParams{Eps: 1e-5})
+	want := []string{FlagOscillation, FlagPlateau}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Detect() = %v, want %v", got, want)
+	}
+}
+
+func TestDetectOscillationIgnoresEarlyTransient(t *testing.T) {
+	// A healthy AIAC solve swings across orders of magnitude while the
+	// envelope settles, then converges cleanly: no flag.
+	res := make([]float64, 0, 120)
+	for i := 0; i < 6; i++ {
+		res = append(res, geometric(1, 0.5, 9)...)
+		res = append(res, 5e3)
+	}
+	res = append(res, geometric(1e-3, 0.8, 60)...)
+	if got := Detect(synth(res), true, DetectorParams{Eps: 1e-5}); got != nil {
+		t.Errorf("early transient flagged: %v", got)
+	}
+}
+
+func TestDetectIgnoresSubEpsNoise(t *testing.T) {
+	// Once at the target, even wild relative swings are healthy: all
+	// samples far below 100*eps never count as oscillation excursions.
+	res := geometric(1, 0.3, 20)
+	for i := 0; i < 50; i++ {
+		res = append(res, 1e-12*math.Pow(10, float64(i%3)))
+	}
+	if got := Detect(synth(res), true, DetectorParams{Eps: 1e-5}); got != nil {
+		t.Errorf("sub-eps noise flagged: %v", got)
+	}
+}
+
+func TestDetectOscillationResetsAtRestart(t *testing.T) {
+	// Each blow-up follows a crash: legitimate recovery, not oscillation.
+	res := make([]float64, 0, 100)
+	restarts := make([]float64, 0, 6)
+	for i := 0; i < 6; i++ {
+		res = append(res, geometric(1, 0.4, 10)...)
+		restarts = append(restarts, float64(len(res))-0.5)
+	}
+	got := Detect(synth(res, restarts...), true, DetectorParams{Eps: 1e-5})
+	if got != nil {
+		t.Errorf("restart-driven blow-ups flagged as oscillation: %v", got)
+	}
+}

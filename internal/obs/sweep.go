@@ -1,0 +1,187 @@
+package obs
+
+// Live sweep progress. The matrix runner registers every cell with its
+// expected-cost weight (from the makespan scheduler), then reports state
+// transitions: started, finished-executed, finished-from-cache, errored.
+// Snapshot serializes the whole picture for the /progress endpoint and
+// computes a weight-based ETA:
+//
+//	eta = remainingWeight * elapsedExecuting / executedWeight
+//
+// Cached cells contribute neither to remainingWeight nor to the observed
+// rate, so a resumed sweep's ETA reflects only the work actually left —
+// the naive mean-per-cell estimate both counted giants and dwarfs alike
+// and, under longest-expected-first scheduling, systematically
+// over-estimated from the early giant cells.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// CellState is one cell's lifecycle state.
+type CellState string
+
+const (
+	StatePending CellState = "pending"
+	StateRunning CellState = "running"
+	StateDone    CellState = "done"
+	StateCached  CellState = "cached"
+	StateError   CellState = "error"
+)
+
+type sweepCell struct {
+	key    string
+	weight float64
+	state  CellState
+	// hostSec is the measured host-side execution time (done cells).
+	hostSec float64
+}
+
+// Sweep tracks the live state of one sweep. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Sweep struct {
+	mu       sync.Mutex
+	start    time.Time
+	cells    map[string]*sweepCell
+	order    []string
+	now      func() time.Time // test hook; time.Now when nil
+	workers  int
+	executed int // cells run to completion (not cached)
+}
+
+// NewSweep returns a tracker; workers is the sweep's parallelism, echoed
+// in /progress.
+func NewSweep(workers int) *Sweep {
+	return &Sweep{
+		start:   time.Now(),
+		cells:   make(map[string]*sweepCell),
+		workers: workers,
+	}
+}
+
+// Register adds a cell with its schedule weight before the sweep starts.
+func (s *Sweep) Register(key string, weight float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cells[key]; ok {
+		return
+	}
+	s.cells[key] = &sweepCell{key: key, weight: weight, state: StatePending}
+	s.order = append(s.order, key)
+}
+
+// Started marks a cell as executing.
+func (s *Sweep) Started(key string) { s.setState(key, StateRunning, 0) }
+
+// FinishedCached marks a cell as satisfied from the resume sidecar
+// without execution.
+func (s *Sweep) FinishedCached(key string) { s.setState(key, StateCached, 0) }
+
+// Finished marks a cell as executed to completion; hostSec is its
+// measured host time, errored whether it failed.
+func (s *Sweep) Finished(key string, hostSec float64, errored bool) {
+	st := StateDone
+	if errored {
+		st = StateError
+	}
+	s.setState(key, st, hostSec)
+}
+
+func (s *Sweep) setState(key string, st CellState, hostSec float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.cells[key]
+	if !ok {
+		c = &sweepCell{key: key, weight: 1}
+		s.cells[key] = c
+		s.order = append(s.order, key)
+	}
+	if (st == StateDone || st == StateError) && c.state != StateDone && c.state != StateError {
+		s.executed++
+	}
+	c.state = st
+	c.hostSec = hostSec
+}
+
+// CellProgress is one cell's row in a Snapshot.
+type CellProgress struct {
+	Key     string  `json:"key"`
+	State   string  `json:"state"`
+	Weight  float64 `json:"weight"`
+	HostSec float64 `json:"host_sec,omitempty"`
+}
+
+// Progress is the JSON document served at /progress.
+type Progress struct {
+	Total      int     `json:"total"`
+	Done       int     `json:"done"`     // executed + cached + errored
+	Executed   int     `json:"executed"` // actually run this sweep
+	Cached     int     `json:"cached"`
+	Errors     int     `json:"errors"`
+	Running    int     `json:"running"`
+	Workers    int     `json:"workers"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// EtaSec is the weight-based remaining-time estimate; negative while
+	// no executed cell has finished yet (no rate observed).
+	EtaSec float64        `json:"eta_sec"`
+	Cells  []CellProgress `json:"cells"`
+}
+
+// Snapshot returns the current progress document.
+func (s *Sweep) Snapshot() Progress {
+	if s == nil {
+		return Progress{EtaSec: -1}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	if s.now != nil {
+		now = s.now()
+	}
+	p := Progress{
+		Total:      len(s.order),
+		Workers:    s.workers,
+		ElapsedSec: now.Sub(s.start).Seconds(),
+		EtaSec:     -1,
+		Cells:      make([]CellProgress, 0, len(s.order)),
+	}
+	var doneW, remW float64
+	keys := append([]string(nil), s.order...)
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := s.cells[k]
+		switch c.state {
+		case StateDone:
+			doneW += c.weight
+			p.Done++
+		case StateError:
+			doneW += c.weight
+			p.Done++
+			p.Errors++
+		case StateCached:
+			p.Done++
+			p.Cached++
+		case StateRunning:
+			p.Running++
+			remW += c.weight
+		default:
+			remW += c.weight
+		}
+		p.Cells = append(p.Cells, CellProgress{
+			Key: c.key, State: string(c.state), Weight: c.weight, HostSec: c.hostSec,
+		})
+	}
+	p.Executed = s.executed
+	if s.executed > 0 && doneW > 0 {
+		p.EtaSec = remW * (p.ElapsedSec / doneW)
+	}
+	return p
+}

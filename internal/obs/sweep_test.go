@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSweepEtaExcludesCachedCells(t *testing.T) {
+	s := NewSweep(2)
+	fake := s.start
+	s.now = func() time.Time { return fake }
+
+	// Four equal-weight cells; two come from the resume cache instantly.
+	for _, k := range []string{"a", "b", "c", "d"} {
+		s.Register(k, 10)
+	}
+	s.FinishedCached("a")
+	s.FinishedCached("b")
+
+	// No executed completions yet: no rate, ETA unknown.
+	if p := s.Snapshot(); p.EtaSec >= 0 {
+		t.Errorf("ETA before any executed completion = %v, want negative", p.EtaSec)
+	}
+
+	// One executed cell finishes after 5s → rate 0.5s/weight → one
+	// equal cell left → ETA 5s. A naive per-cell mean over all done
+	// cells (3 done in 5s) would claim ~1.7s.
+	fake = fake.Add(5 * time.Second)
+	s.Started("c")
+	s.Finished("c", 5, false)
+	p := s.Snapshot()
+	if p.EtaSec < 4.9 || p.EtaSec > 5.1 {
+		t.Errorf("ETA = %v, want ~5 (cached cells excluded from rate)", p.EtaSec)
+	}
+	if p.Done != 3 || p.Cached != 2 || p.Executed != 1 || p.Total != 4 {
+		t.Errorf("snapshot = %+v", p)
+	}
+}
+
+func TestSweepWeightsDriveEta(t *testing.T) {
+	s := NewSweep(1)
+	fake := s.start
+	s.now = func() time.Time { return fake }
+	s.Register("giant", 90)
+	s.Register("dwarf", 10)
+	fake = fake.Add(9 * time.Second)
+	s.Finished("giant", 9, false)
+	// 9s for weight 90 → 0.1 s/weight → dwarf ETA 1s, not the 9s a
+	// mean-per-cell estimate would print under longest-first order.
+	if p := s.Snapshot(); p.EtaSec < 0.9 || p.EtaSec > 1.1 {
+		t.Errorf("ETA = %v, want ~1", p.EtaSec)
+	}
+}
+
+func TestSweepStates(t *testing.T) {
+	s := NewSweep(4)
+	s.Register("x", 1)
+	s.Register("y", 1)
+	s.Started("x")
+	p := s.Snapshot()
+	if p.Running != 1 || p.Done != 0 {
+		t.Errorf("running=%d done=%d, want 1/0", p.Running, p.Done)
+	}
+	s.Finished("x", 1, true)
+	p = s.Snapshot()
+	if p.Errors != 1 || p.Done != 1 {
+		t.Errorf("errors=%d done=%d, want 1/1", p.Errors, p.Done)
+	}
+	var st map[string]string
+	for _, c := range p.Cells {
+		if st == nil {
+			st = map[string]string{}
+		}
+		st[c.Key] = c.State
+	}
+	if st["x"] != "error" || st["y"] != "pending" {
+		t.Errorf("cell states = %v", st)
+	}
+}
+
+func TestSweepNilSafe(t *testing.T) {
+	var s *Sweep
+	s.Register("x", 1)
+	s.Started("x")
+	s.Finished("x", 0, false)
+	s.FinishedCached("x")
+	if p := s.Snapshot(); p.Total != 0 || p.EtaSec >= 0 {
+		t.Errorf("nil snapshot = %+v", p)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("aiac_cells_total", "cells", "state").With("done").Inc()
+	sw := NewSweep(1)
+	sw.Register("cell-1", 1)
+	srv := httptest.NewServer(NewMux(reg, sw))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/progress")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/progress content-type %q", ct)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if p.Total != 1 {
+		t.Errorf("/progress total = %d", p.Total)
+	}
+
+	body, ct = get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(body, `aiac_cells_total{state="done"} 1`) {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

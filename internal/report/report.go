@@ -24,7 +24,10 @@ import (
 // protocol observability counters (heartbeats, stop rebroadcasts,
 // reconfirm rounds) and the protocol constants; Regressions compares the
 // counters only against baselines that recorded them (schema >= 2).
-const Schema = 2
+// Version 3 added the convergence red-flag verdicts (Flags, from
+// internal/obs's trajectory detectors), compared exactly against
+// baselines at schema >= 3.
+const Schema = 3
 
 // Result is the outcome of one experiment cell, aggregated over its
 // repetitions.
@@ -99,6 +102,13 @@ type Result struct {
 	GraceSec     float64 `json:"grace_sec,omitempty"`
 	HeartbeatSec float64 `json:"heartbeat_sec,omitempty"`
 	PersistIters int     `json:"persist_iters,omitempty"`
+	// Flags holds the comma-separated convergence red-flag verdicts of
+	// the cell's residual trajectories (internal/obs detectors:
+	// "oscillation", "plateau", "restart-regression"), the union over
+	// repetitions, sorted; empty when every trajectory was healthy.
+	// Deterministic for simulated cells, so Regressions compares it
+	// exactly against baselines that recorded it (schema >= 3).
+	Flags string `json:"flags,omitempty"`
 	// HostSec is the host wall time spent simulating this cell (all
 	// repetitions). Not compared across runs.
 	HostSec float64 `json:"host_sec"`
@@ -294,6 +304,29 @@ func writeGroup(b *strings.Builder, grp []Result) {
 			float64(r.Bytes)/1e6, res, conv,
 			r.Heartbeats, r.StopRebroadcasts, r.ReconfirmRounds)
 	}
+}
+
+// FlagsTable lists every cell whose convergence trajectories raised a red
+// flag (internal/obs detectors), with the context needed to judge it:
+// outcome, restarts, and the flag names. It returns "" when every cell in
+// the set is flag-free — the healthy case prints nothing.
+func (s *Set) FlagsTable() string {
+	var b strings.Builder
+	for _, r := range s.Results {
+		if r.Flags == "" || r.Error != "" {
+			continue
+		}
+		if b.Len() == 0 {
+			fmt.Fprintf(&b, "Convergence red flags\n\n")
+			fmt.Fprintf(&b, "  %-52s %6s %9s  %s\n", "cell", "conv", "restarts", "flags")
+		}
+		conv := fmt.Sprintf("%v", r.Converged)
+		if r.Stalled {
+			conv = "STALL"
+		}
+		fmt.Fprintf(&b, "  %-52s %6s %9d  %s\n", r.Key(), conv, r.Restarts, r.Flags)
+	}
+	return b.String()
 }
 
 // DegradationTable compares every cell run under a dynamic scenario against
@@ -543,6 +576,11 @@ func Regressions(baseline, current *Set, tolPct float64) []string {
 				old.Heartbeats, old.StopRebroadcasts, old.ReconfirmRounds))
 			continue
 		}
+		if baseline.Schema >= 3 && simulated(old.BackendOrSim()) && now.Flags != old.Flags {
+			out = append(out, fmt.Sprintf("%s: red flags %q, baseline %q",
+				old.Key(), now.Flags, old.Flags))
+			continue
+		}
 		if old.TimeSec > 0 {
 			d := (now.TimeSec - old.TimeSec) / old.TimeSec * 100
 			if d > tolPct || d < -tolPct {
@@ -552,6 +590,12 @@ func Regressions(baseline, current *Set, tolPct float64) []string {
 		}
 	}
 	return out
+}
+
+// simulated reports whether a backend name is a deterministic simulated
+// driver (virtual time), whose flags and counters are comparable exactly.
+func simulated(backend string) bool {
+	return backend == "sim" || backend == "sim-fast"
 }
 
 func pct(old, now float64) string {

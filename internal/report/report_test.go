@@ -211,6 +211,53 @@ func TestRegressions(t *testing.T) {
 	}
 }
 
+func TestRegressionsGateFlags(t *testing.T) {
+	base, cur := sample(), sample()
+	base.Schema = Schema
+	cur.Results[1].Flags = "oscillation"
+	v := Regressions(base, cur, 100)
+	if len(v) != 1 || !strings.Contains(v[0], `red flags "oscillation"`) {
+		t.Fatalf("flag drift not gated: %v", v)
+	}
+	// A sim-fast cell gates identically: both simulated drivers are
+	// deterministic.
+	base.Results[1].Backend = "sim-fast"
+	cur.Results[1].Backend = "sim-fast"
+	if v := Regressions(base, cur, 100); len(v) != 1 {
+		t.Fatalf("sim-fast flag drift not gated: %v", v)
+	}
+	// A native cell never gates on flags: wall-clock trajectories are not
+	// deterministic.
+	base.Results[1].Backend = "tcp"
+	cur.Results[1].Backend = "tcp"
+	if v := Regressions(base, cur, 100); len(v) != 0 {
+		t.Fatalf("native cell gated on flags: %v", v)
+	}
+	// A pre-flags baseline (schema 2) never recorded the column and cannot
+	// compare it.
+	base.Results[1].Backend = ""
+	cur.Results[1].Backend = ""
+	base.Schema = 2
+	if v := Regressions(base, cur, 100); len(v) != 0 {
+		t.Fatalf("schema-2 baseline compared flags: %v", v)
+	}
+}
+
+func TestFlagsTable(t *testing.T) {
+	s := sample()
+	if out := s.FlagsTable(); out != "" {
+		t.Fatalf("clean set rendered a flags table:\n%s", out)
+	}
+	s.Results[1].Flags = "oscillation,plateau"
+	out := s.FlagsTable()
+	if !strings.Contains(out, "pm2/async/adsl") || !strings.Contains(out, "oscillation,plateau") {
+		t.Fatalf("flags table lacks the flagged cell:\n%s", out)
+	}
+	if strings.Contains(out, "mpi/sync/adsl") {
+		t.Fatalf("flags table lists a clean cell:\n%s", out)
+	}
+}
+
 func TestDiff(t *testing.T) {
 	base := sample()
 	cur := sample()

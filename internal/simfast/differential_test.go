@@ -18,12 +18,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"reflect"
 	"strconv"
 	"testing"
 
 	"aiac/internal/aiac"
 	"aiac/internal/matrix"
 	"aiac/internal/report"
+	"aiac/internal/trace"
 )
 
 func diffSize(tb testing.TB) int {
@@ -117,6 +119,51 @@ func TestDifferentialScenarios(t *testing.T) {
 			t.Parallel()
 			for _, seed := range seeds {
 				runBoth(t, c, spec, 0, seed)
+			}
+		})
+	}
+}
+
+// TestDifferentialTrace runs one seeded cell with trace collection on both
+// engines: the compute/idle spans marked by the engine loops and the
+// message records marked by the middleware must be identical, span for
+// span, in the same order. This is what licenses aiactrace -backend
+// sim-fast (and its Chrome export) to stand in for the goroutine engine.
+func TestDifferentialTrace(t *testing.T) {
+	spec := matrix.DefaultSpec()
+	spec.Sizes = []int{diffSize(t)}
+	spec.Linear.MaxIters = 12000
+	cells := []matrix.Cell{
+		// Async under perturbations: compute spans, restarts, drops.
+		{Env: "pm2", Mode: aiac.Async, Grid: "adsl", Problem: "linear", Procs: 8, Size: diffSize(t), Scenario: "flaky-adsl"},
+		// Sync: covers the idle spans of the blocking exchanges.
+		{Env: "mpi", Mode: aiac.Sync, Grid: "3site", Problem: "linear", Procs: 8, Size: diffSize(t)},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(fmt.Sprintf("%s-%s-%s", c.Env, c.Mode, c.Grid), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []int64{0, 7} {
+				slow, fast := trace.New(), trace.New()
+				c.Backend = "sim"
+				if _, err := matrix.RunCellOnce(c, spec, 0, seed, 0, slow); err != nil {
+					t.Fatalf("sim %s seed %d: %v", c.Key(), seed, err)
+				}
+				c.Backend = "sim-fast"
+				if _, err := matrix.RunCellOnce(c, spec, 0, seed, 0, fast); err != nil {
+					t.Fatalf("sim-fast %s seed %d: %v", c.Key(), seed, err)
+				}
+				if len(slow.Spans) == 0 || len(slow.Msgs) == 0 {
+					t.Fatalf("sim trace empty on %s seed %d: %d spans, %d msgs", c.Key(), seed, len(slow.Spans), len(slow.Msgs))
+				}
+				if !reflect.DeepEqual(slow.Spans, fast.Spans) {
+					t.Errorf("span streams diverged on %s seed %d: sim %d spans, sim-fast %d spans",
+						c.Key(), seed, len(slow.Spans), len(fast.Spans))
+				}
+				if !reflect.DeepEqual(slow.Msgs, fast.Msgs) {
+					t.Errorf("message streams diverged on %s seed %d: sim %d msgs, sim-fast %d msgs",
+						c.Key(), seed, len(slow.Msgs), len(fast.Msgs))
+				}
 			}
 		})
 	}

@@ -246,6 +246,7 @@ func (e *run) recoverRankK(p *des.Proc, r int, k func()) {
 	e.dyn.WaitUpK(p, r, func() {
 		e.epochs[r] = e.dyn.Epoch(r)
 		e.restarts++
+		e.cfg.Residuals.MarkRestart(r, p.Now().Seconds())
 		copy(e.xs[r], e.x0)
 		for key := range e.heard[r] {
 			delete(e.heard[r], key)
@@ -346,6 +347,7 @@ func (e *run) runAsync(p *des.Proc, r int, comm Comm, cpu *marcel.CPU, x []float
 	afterCompute = func() {
 		cfg.Trace.AddSpan(r, t0, p.Now(), trace.Compute, iter)
 		e.iters[r]++
+		cfg.Residuals.Record(r, p.Now().Seconds(), res)
 
 		for _, tgt := range e.plan.Targets[r] {
 			// Snapshot only when the channel is free: a busy channel
@@ -442,6 +444,7 @@ func (e *run) runSync(p *des.Proc, r int, comm Comm, cpu *marcel.CPU, x []float6
 				t1 := p.Now()
 				cfg.Trace.AddSpan(r, t0, t1, trace.Compute, iter)
 				e.iters[r]++
+				cfg.Residuals.Record(r, t1.Seconds(), res)
 
 				sends := make([]aiac.Outgoing, 0, len(e.plan.Targets[r]))
 				for _, tgt := range e.plan.Targets[r] {
