@@ -20,6 +20,7 @@
 //	aiacbench -retries 2                      # re-run cells that end in an error
 //	aiacbench -baseline BENCH_baseline.json   # print per-cell deltas vs a saved run
 //	aiacbench -baseline B.json -faildelta 1   # exit non-zero on >1% time drift (CI)
+//	aiacbench -trend .                        # per-cell time/speedup trajectories across all BENCH files
 //
 // Every sweep with a results file streams each completed cell to a JSONL
 // sidecar next to it (BENCH_pr42.json → BENCH_pr42.jsonl), fsync'd per
@@ -87,6 +88,7 @@ func main() {
 		resume    = flag.String("resume", "", "JSONL sidecar of an earlier sweep: reuse every cell whose content address already has a valid row, append new results to the same file")
 		retries   = flag.Int("retries", 0, "re-run a cell whose attempt ended in an error up to this many extra times (the attempt count is recorded)")
 		baseline  = flag.String("baseline", "", "saved results file to diff this run against")
+		trendF    = flag.String("trend", "", "directory of BENCH_*.json/.jsonl files: print per-cell time and speedup trajectories across them instead of sweeping")
 		failDelta = flag.Float64("faildelta", 0, "with -baseline: exit non-zero if any shared cell's time drifts more than this many percent, or outcomes change (0 = report only)")
 		httpAddr  = flag.String("http", "", "serve live sweep observability on this address (e.g. :8080 or 127.0.0.1:0): /progress (state+ETA JSON), /metrics (Prometheus), /debug/pprof")
 
@@ -98,10 +100,23 @@ func main() {
 	)
 	flag.Parse()
 
-	// The two modes share only -procs; reject flags from the other mode
+	// The modes share only -procs; reject flags from the other modes
 	// instead of silently ignoring them.
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *trendF != "" {
+		for _, name := range []string{"env", "mode", "grid", "problem", "procs", "n", "scenario", "backend", "timeout", "reps", "seed", "workers", "list", "o", "resume", "retries", "baseline", "faildelta", "http", "table", "figure", "all", "paper"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "-%s has no effect with -trend (it only reads saved results files)\n", name)
+				os.Exit(2)
+			}
+		}
+		if err := printTrend(*trendF); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *table != 0 || *figure != 0 || *all {
 		for _, name := range []string{"env", "mode", "grid", "problem", "n", "scenario", "backend", "timeout", "reps", "seed", "workers", "list", "o", "resume", "retries", "baseline", "faildelta", "http"} {
 			if explicit[name] {
@@ -289,6 +304,9 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(set.Table())
+	if at := set.AttributionTable(); at != "" {
+		fmt.Print(at)
+	}
 	if sc := set.ScalingTable(); sc != "" {
 		fmt.Print(sc)
 	}

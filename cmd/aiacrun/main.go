@@ -250,10 +250,22 @@ func printMetrics(rep *aiac.Report, tr *trace.Collector, st netsim.Stats, flags 
 	reg.Gauge("aiac_run_time_seconds", "Virtual elapsed time of the solve.").With().Set(elapsed)
 	iters := reg.Counter("aiac_iterations_total", "Local iterations performed, per rank.", "rank")
 	idle := reg.Gauge("aiac_rank_idle_fraction", "Fraction of the run the rank spent idle (blocked on synchronous exchanges).", "rank")
+	busySec := reg.Gauge("aiac_rank_busy_seconds", "Virtual time the rank spent computing (trace compute spans).", "rank")
+	idleSec := reg.Gauge("aiac_rank_idle_seconds", "Virtual time the rank spent idle (trace idle spans).", "rank")
 	for r, n := range rep.ItersPerRank {
 		rank := strconv.Itoa(r)
 		iters.With(rank).Add(float64(n))
-		idle.With(rank).Set(tr.IdleFraction(r))
+		// One BusyIdle read drives the fraction and both absolute series,
+		// so the three can never disagree about what the trace recorded
+		// (trace.TestIdleFractionMatchesBusyIdle pins the derivation).
+		busy, idleT := tr.BusyIdle(r)
+		if total := busy + idleT; total > 0 {
+			idle.With(rank).Set(float64(idleT) / float64(total))
+		} else {
+			idle.With(rank).Set(0)
+		}
+		busySec.With(rank).Set(busy.Seconds())
+		idleSec.With(rank).Set(idleT.Seconds())
 	}
 	reg.Counter("aiac_messages_total", "Data/control messages delivered.").With().Add(float64(st.Messages))
 	reg.Counter("aiac_bytes_total", "Bytes carried by delivered messages.").With().Add(float64(st.Bytes))

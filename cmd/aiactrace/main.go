@@ -19,6 +19,20 @@
 // chrome://tracing:
 //
 //	aiactrace -env mpi -grid adsl -scenario flaky-adsl -chrome trace.json
+//
+// With -critpath, the cell's causal critical path is extracted
+// (internal/obs/critpath) and printed as an attribution summary plus the
+// annotated rank-hop listing — where every nanosecond of the convergence
+// time went, and through which messages the path moved between ranks:
+//
+//	aiactrace -env mpi -mode sync -grid adsl -critpath
+//
+// With -explain, two cells given as full cell keys (as printed in every
+// sweep table) are traced and their attributions diffed — the direct
+// answer to "why is this cell faster than that one":
+//
+//	aiactrace -explain pm2/async/adsl/linear/p8/n3000/static/sim \
+//	                   mpi/sync/adsl/linear/p8/n3000/static/sim
 package main
 
 import (
@@ -29,6 +43,7 @@ import (
 	"aiac/internal/bench"
 	"aiac/internal/matrix"
 	"aiac/internal/obs"
+	"aiac/internal/obs/critpath"
 	"aiac/internal/report"
 	"aiac/internal/trace"
 )
@@ -49,6 +64,8 @@ func main() {
 		seed     = flag.Int64("seed", 0, "network-jitter seed (0 = off), as in aiacbench")
 		backendF = flag.String("backend", "sim", "execution backend of the cell: sim or sim-fast (tracing needs a simulated backend)")
 		chromeF  = flag.String("chrome", "", "also write the trace as Chrome trace-event JSON to this file (Perfetto-loadable)")
+		critF    = flag.Bool("critpath", false, "print the cell's causal critical-path attribution and annotated rank-hop listing")
+		explainF = flag.Bool("explain", false, "diff the critical-path attributions of two cells given as positional cell keys (env/mode/grid/problem/pP/nN/scenario/backend)")
 	)
 	flag.Parse()
 
@@ -56,7 +73,17 @@ func main() {
 	// of silently ignoring them (same policy as aiacbench).
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	cellFlags := []string{"mode", "grid", "problem", "procs", "n", "scenario", "seed", "backend", "chrome"}
+	if *explainF {
+		for _, name := range []string{"env", "mode", "grid", "problem", "procs", "n", "scenario", "backend", "chrome", "critpath", "figure"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "-explain takes two positional cell keys and conflicts with -%s\n", name)
+				os.Exit(2)
+			}
+		}
+		explainCells(flag.Args(), *seed)
+		return
+	}
+	cellFlags := []string{"mode", "grid", "problem", "procs", "n", "scenario", "seed", "backend", "chrome", "critpath"}
 	if *envF == "" {
 		for _, name := range cellFlags {
 			if explicit[name] {
@@ -133,6 +160,51 @@ func main() {
 	if r.ReconvergeSec > 0 {
 		fmt.Printf("reconverged %s after the last perturbation\n", report.FmtSec(r.ReconvergeSec))
 	}
+	if *critF {
+		a, ok := critpath.Analyze(tr, critpath.TotalFromSeconds(r.TimeSec))
+		if !ok {
+			fmt.Fprintln(os.Stderr, "critpath: trace is not attributable (no compute spans recorded)")
+			os.Exit(1)
+		}
+		fmt.Printf("\ncritical path: %s\n\n", a.Summary())
+		fmt.Print(a.Listing(40))
+	}
+}
+
+// explainCells traces the two cells named by their full keys and prints
+// the side-by-side diff of their critical-path attributions.
+func explainCells(keys []string, seed int64) {
+	if len(keys) != 2 {
+		fmt.Fprintln(os.Stderr, "-explain takes exactly two cell keys, e.g.\n  aiactrace -explain pm2/async/adsl/linear/p8/n3000/static/sim mpi/sync/adsl/linear/p8/n3000/static/sim")
+		os.Exit(2)
+	}
+	attrs := make([]*critpath.Attribution, 2)
+	for i, key := range keys {
+		cell, err := matrix.ParseKey(key)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !matrix.SimulatedBackend(cell.Backend) {
+			fmt.Fprintf(os.Stderr, "cell %s: -explain needs a simulated backend (sim or sim-fast)\n", key)
+			os.Exit(2)
+		}
+		fmt.Printf("tracing %s\n", cell.Key())
+		tr := trace.New()
+		r, err := matrix.RunCellOnce(cell, matrix.DefaultSpec(), 0, seed, 0, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		a, ok := critpath.Analyze(tr, critpath.TotalFromSeconds(r.TimeSec))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cell %s: trace is not attributable (no compute spans recorded)\n", key)
+			os.Exit(1)
+		}
+		attrs[i] = a
+	}
+	fmt.Println()
+	fmt.Print(critpath.Explain(keys[0], attrs[0], keys[1], attrs[1]))
 }
 
 // buildCell resolves the cell flags through the shared matrix axis parsing.
@@ -181,8 +253,8 @@ func buildCell(env, mode, grid, problem, scen, backend string, procs, size int) 
 		}
 		return c, spec, err
 	}
-	if !matrix.SimulatedBackend(backends[0]) {
-		return c, spec, fmt.Errorf("tracing needs a simulated backend (sim or sim-fast), not %s", backends[0])
+	if !matrix.SimulatedBackend(backends[0]) && problems[0] == "chem" {
+		return c, spec, fmt.Errorf("tracing the chemical problem needs a simulated backend (natively it runs one solve per time step)")
 	}
 	c = matrix.Cell{
 		Env: envs[0], Mode: modes[0], Grid: grids[0], Problem: problems[0],

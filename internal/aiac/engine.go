@@ -188,7 +188,9 @@ func (e *run) crashed(r int) bool {
 // needReconfirm debt behind Report.TaintedRestarts — is Rank.StateLost,
 // which the iteration loops invoke right after this.
 func (e *run) recoverRank(p *des.Proc, r int) {
+	t0 := p.Now()
 	e.cfg.Dynamics.WaitUp(p, r)
+	e.cfg.Trace.AddWait(r, t0, p.Now(), trace.WaitRecovery, -1)
 	e.epochs[r] = e.cfg.Dynamics.Epoch(r)
 	e.restarts++
 	e.cfg.Residuals.MarkRestart(r, p.Now().Seconds())

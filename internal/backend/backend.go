@@ -37,8 +37,10 @@ import (
 	"time"
 
 	"aiac/internal/aiac"
+	"aiac/internal/des"
 	"aiac/internal/obs"
 	"aiac/internal/protocol"
+	"aiac/internal/trace"
 	"aiac/internal/transport"
 )
 
@@ -79,6 +81,16 @@ type Config struct {
 	// is the sole writer of its own timeline, so recording needs no locks
 	// and cannot serialize ranks against each other.
 	Residuals *obs.Residuals
+	// Trace, when non-nil, collects the solve's execution flow — compute
+	// spans, blocking waits, and message deliveries — stamped in
+	// wall-clock nanoseconds since the solve's epoch, the native analogue
+	// of the simulator's collector (and the input internal/obs/critpath
+	// attributes). Spans and waits are buffered per rank (each loop is
+	// its own writer) and merged when Run returns; message records pair a
+	// sender-side stamp with the receive-handler instant under a mutex.
+	// Tracing adds clock reads and appends to the hot loops, so a traced
+	// run's wall time carries that overhead; leave nil when measuring.
+	Trace *trace.Collector
 }
 
 // protocolParams resolves the protocol tunables against the shared
@@ -175,6 +187,13 @@ func Run(prob aiac.Problem, tr transport.Transport, cfg Config) (*Report, error)
 		reduce:      &reducer{rounds: make(map[int32]*reduceRound)},
 		results:     make(map[int32]float64),
 	}
+	if cfg.Trace != nil {
+		s.rtr = make([]*trace.Collector, n)
+		for r := 0; r < n; r++ {
+			s.rtr[r] = trace.New()
+		}
+		s.sendStamps = make(map[stampKey][]protocol.Time)
+	}
 	s.coord = protocol.NewCoordinator(n, pp, (*wallCoordRuntime)(s))
 	for r := 0; r < n; r++ {
 		s.xs[r] = make([]float64, len(x0))
@@ -216,6 +235,16 @@ func Run(prob aiac.Problem, tr transport.Transport, cfg Config) (*Report, error)
 	s.bgClosed = true
 	s.bgMu.Unlock()
 	s.bg.Wait()
+	if cfg.Trace != nil {
+		// Merge the per-rank span/wait buffers into the caller's
+		// collector; the message records went straight there (traceRecv,
+		// under trMu). Every rank loop, handler and helper has drained by
+		// now, so plain appends are safe.
+		for _, rc := range s.rtr {
+			cfg.Trace.Spans = append(cfg.Trace.Spans, rc.Spans...)
+			cfg.Trace.Waits = append(cfg.Trace.Waits, rc.Waits...)
+		}
+	}
 
 	end := s.spawnedAt
 	for _, f := range s.finish {
@@ -315,6 +344,93 @@ type solver struct {
 	bgMu     sync.Mutex
 	bgClosed bool
 	bg       sync.WaitGroup
+
+	// Tracing state (Config.Trace): per-rank span/wait buffers written
+	// lock-free by each rank's own loop, and the sender-stamp exchange
+	// pairing send instants with receive-handler instants, shared between
+	// sender and receive threads under trMu. All nil/unused when the
+	// solve is not traced.
+	rtr        []*trace.Collector
+	trMu       sync.Mutex
+	sendStamps map[stampKey][]protocol.Time
+}
+
+// stampKey identifies a wire message for send/receive pairing. Data and
+// reduce messages are unique per (from, to, type, key, seq); control
+// re-sends (heartbeat state, stop repeats) share a key and pair FIFO,
+// which the blocking per-link sends keep honest.
+type stampKey struct {
+	from, to int
+	typ      transport.MsgType
+	key      int32
+	seq      int32
+}
+
+// stampSend records the wall-clock instant m is handed to the transport,
+// so the receive handler can pair it into a trace.Msg. No-op untraced.
+func (s *solver) stampSend(from, to int, m transport.Msg) {
+	if s.rtr == nil {
+		return
+	}
+	k := stampKey{from: from, to: to, typ: m.Type, key: m.Key, seq: m.Seq}
+	now := s.now()
+	s.trMu.Lock()
+	s.sendStamps[k] = append(s.sendStamps[k], now)
+	s.trMu.Unlock()
+}
+
+// traceRecv pairs an arriving message with its send stamp and records the
+// delivery. Runs on the transport's receive threads.
+func (s *solver) traceRecv(to int, m transport.Msg) {
+	if s.rtr == nil {
+		return
+	}
+	now := s.now()
+	k := stampKey{from: int(m.From), to: to, typ: m.Type, key: m.Key, seq: m.Seq}
+	s.trMu.Lock()
+	defer s.trMu.Unlock()
+	stamps := s.sendStamps[k]
+	if len(stamps) == 0 {
+		return // no stamp: a shaped duplicate or an untracked path
+	}
+	sent := stamps[0]
+	if len(stamps) == 1 {
+		delete(s.sendStamps, k)
+	} else {
+		s.sendStamps[k] = stamps[1:]
+	}
+	s.cfg.Trace.AddMsg(trace.Msg{
+		From: int(m.From), To: to, Sent: des.Time(sent), Recv: des.Time(now),
+		Kind: traceKind(m.Type), Bytes: wireBytes(m), Iter: int(m.Seq),
+	})
+}
+
+// traceKind maps a transport message type onto the trace vocabulary.
+func traceKind(t transport.MsgType) trace.MsgKind {
+	switch t {
+	case transport.MsgData:
+		return trace.MsgData
+	case transport.MsgState:
+		return trace.MsgState
+	case transport.MsgStop:
+		return trace.MsgStop
+	default: // MsgReduce, MsgReduceResult
+		return trace.MsgReduce
+	}
+}
+
+// wireBytes estimates the message's on-wire size: the codec's fixed frame
+// header plus the float64 payload.
+func wireBytes(m transport.Msg) int { return 24 + 8*len(m.Values) }
+
+// traceWait records a blocking wait on rank r's buffer. No-op untraced.
+func (s *solver) traceWait(r int, start protocol.Time, kind trace.WaitKind) {
+	if s.rtr == nil {
+		return
+	}
+	// Native waits carry no cause edge: wall-clock delivery order is not
+	// deterministic, so the analyzer binds arrivals to waits by time.
+	s.rtr[r].AddWait(r, des.Time(start), des.Time(s.now()), kind, -1)
 }
 
 // now is the solver's protocol clock: nanoseconds since epoch.
@@ -398,6 +514,7 @@ func (s *solver) watchdog() {
 // transport's receive threads.
 func (s *solver) handler(r int) transport.Handler {
 	return func(m transport.Msg) {
+		s.traceRecv(r, m)
 		switch m.Type {
 		case transport.MsgData:
 			s.mus[r].Lock()
@@ -477,6 +594,7 @@ func (s *solver) runRank(r int) {
 // sendReliable performs a blocking control-plane send, swallowing
 // transport teardown (the run is ending anyway).
 func (s *solver) sendReliable(from, to int, m transport.Msg) {
+	s.stampSend(from, to, m)
 	_ = s.tr.Send(from, to, m)
 }
 
@@ -517,6 +635,7 @@ func (s *solver) runAsync(r int) {
 		go func() {
 			defer s.bg.Done()
 			for m := range ch {
+				s.stampSend(r, to, m)
 				if s.tr.Send(r, to, m) != nil {
 					// Transport closed: drain without sending.
 					for range ch {
@@ -535,6 +654,7 @@ func (s *solver) runAsync(r int) {
 		go func() {
 			defer stateWG.Done()
 			for m := range states {
+				s.stampSend(r, 0, m)
 				if s.tr.Send(r, 0, m) != nil {
 					for range states {
 					}
@@ -585,6 +705,10 @@ func (s *solver) runAsync(r int) {
 		if s.stopped(r) || s.aborted() {
 			return
 		}
+		var tc0 protocol.Time
+		if s.rtr != nil {
+			tc0 = s.now()
+		}
 		s.mus[r].Lock()
 		res, _ := s.prob.Update(r, s.bounds, x)
 		// Snapshot outgoing segments and the arrival bookkeeping under
@@ -594,6 +718,9 @@ func (s *solver) runAsync(r int) {
 		}
 		heardAll := len(s.lastArrival[r]) == s.plan.RecvCount[r]
 		s.mus[r].Unlock()
+		if s.rtr != nil {
+			s.rtr[r].AddSpan(r, des.Time(tc0), des.Time(s.now()), trace.Compute, iter)
+		}
 		s.iters[r]++
 		s.stall.Tick()
 		cfg.Residuals.Record(r, s.now().Seconds(), res)
@@ -653,6 +780,10 @@ func (s *solver) runSync(r int) {
 		if s.aborted() {
 			return
 		}
+		var tc0 protocol.Time
+		if s.rtr != nil {
+			tc0 = s.now()
+		}
 		s.mus[r].Lock()
 		res, _ := s.prob.Update(r, s.bounds, x)
 		sends := make([]transport.Msg, len(targets))
@@ -665,6 +796,9 @@ func (s *solver) runSync(r int) {
 			}
 		}
 		s.mus[r].Unlock()
+		if s.rtr != nil {
+			s.rtr[r].AddSpan(r, des.Time(tc0), des.Time(s.now()), trace.Compute, iter)
+		}
 		s.iters[r]++
 		s.stall.Tick()
 		cfg.Residuals.Record(r, s.now().Seconds(), res)
@@ -672,15 +806,24 @@ func (s *solver) runSync(r int) {
 		// Blocking exchange: the sends of one round overlap (one helper
 		// per target, like MPI_Isend + Waitall), then block until every
 		// dependency message of the round has been incorporated.
+		var tw0 protocol.Time
+		if s.rtr != nil {
+			tw0 = s.now()
+		}
 		var swg sync.WaitGroup
 		for i, tg := range targets {
 			swg.Add(1)
 			go func(to int, m transport.Msg) {
 				defer swg.Done()
+				s.stampSend(r, to, m)
 				_ = s.tr.Send(r, to, m)
 			}(tg.To, sends[i])
 		}
 		swg.Wait()
+		if s.rtr != nil {
+			s.traceWait(r, tw0, trace.WaitBlockedSend)
+			tw0 = s.now()
+		}
 		want := int64(iter+1) * int64(s.plan.RecvCount[r])
 		for s.recvTotal[r].Load() < want {
 			select {
@@ -688,6 +831,9 @@ func (s *solver) runSync(r int) {
 			case <-s.abort:
 				return
 			}
+		}
+		if s.rtr != nil {
+			s.traceWait(r, tw0, trace.WaitExchange)
 		}
 
 		global, ok := s.allreduceMax(r, int32(iter), res)
@@ -713,17 +859,30 @@ func (s *solver) allreduceMax(r int, round int32, v float64) (float64, bool) {
 	if r == 0 {
 		s.contribute(round, v)
 	} else {
-		if s.tr.Send(r, 0, transport.Msg{
+		m := transport.Msg{
 			Type: transport.MsgReduce, From: int32(r), Seq: round, Values: []float64{v},
-		}) != nil {
+		}
+		s.stampSend(r, 0, m)
+		if s.tr.Send(r, 0, m) != nil {
 			return 0, false
 		}
+	}
+	var tw0 protocol.Time
+	if s.rtr != nil {
+		tw0 = s.now()
 	}
 	for {
 		s.resMu.Lock()
 		out, done := s.results[round]
 		s.resMu.Unlock()
 		if done {
+			if s.rtr != nil {
+				kind := trace.WaitReduce
+				if round < 0 {
+					kind = trace.WaitBarrier // round -1 is the entry barrier
+				}
+				s.traceWait(r, tw0, kind)
+			}
 			return out, true
 		}
 		select {

@@ -251,6 +251,39 @@ type wire struct {
 	// rendezvous marks a data message whose send completes only at the
 	// matching receive (MPI large-message protocol).
 	rendezvous bool
+	// msgIdx is the trace.Collector index of this message's delivery
+	// record, set just before final delivery so receivers can bind it as a
+	// wait cause (-1 when tracing is off).
+	msgIdx int
+}
+
+// msgKind maps a wire kind onto the trace taxonomy.
+func (k wireKind) msgKind() trace.MsgKind {
+	switch k {
+	case wData:
+		return trace.MsgData
+	case wState:
+		return trace.MsgState
+	case wStop:
+		return trace.MsgStop
+	case wBarArrive, wBarRelease:
+		return trace.MsgBarrier
+	default:
+		return trace.MsgReduce
+	}
+}
+
+// traceIter is the iteration / sequence tag recorded for a message.
+func (w *wire) traceIter() int {
+	switch w.kind {
+	case wData:
+		return w.data.Iter
+	case wState:
+		return w.state.Seq
+	case wBarArrive, wBarRelease, wRedContrib, wRedResult:
+		return w.round
+	}
+	return 0
 }
 
 // controlPayloadBytes is the application payload of control messages.
@@ -288,6 +321,25 @@ type Endpoint struct {
 	redGates   map[int]*des.Gate
 	redResults map[int][]float64
 	redPending map[int]*redState // rank 0 only
+
+	// Wait-cause bindings for the trace: the Msgs index of the delivery
+	// that opened each gate, recorded at the instrumentation point that
+	// knows it (receive / deliverData) and consumed by the blocking calls
+	// when they record their trace.Wait.
+	barCause    map[int]int
+	redCause    map[int]int
+	lastDeliver int // latest data delivery to this endpoint, -1 if none
+}
+
+// takeCause pops the recorded wake-cause message index for round; -1 when
+// none was recorded (tracing off, or the gate never opened).
+func takeCause(m map[int]int, round int) int {
+	idx, ok := m[round]
+	if !ok {
+		return -1
+	}
+	delete(m, round)
+	return idx
 }
 
 // redOp selects the reduction operator.
@@ -318,6 +370,9 @@ func newEndpoint(e *Env, rank int) *Endpoint {
 		redGates:     make(map[int]*des.Gate),
 		redResults:   make(map[int][]float64),
 		redPending:   make(map[int]*redState),
+		barCause:     make(map[int]int),
+		redCause:     make(map[int]int),
+		lastDeliver:  -1,
 	}
 }
 
@@ -453,6 +508,7 @@ func (ep *Endpoint) transmit(w *wire, finalTo int) {
 	w.finalTo = finalTo
 	dst := ep.env.eps[to]
 	sentAt := ep.env.grid.Sim.Now()
+	nbytes := ep.wireBytes(w.payloadBytes)
 	var opts []netsim.SendOpt
 	if w.kind == wData {
 		// Data-plane traffic is loss-eligible under lossy scenarios; the
@@ -460,7 +516,7 @@ func (ep *Endpoint) transmit(w *wire, finalTo int) {
 		// values). Control traffic stays reliable, as over TCP.
 		opts = append(opts, netsim.Unreliable())
 	}
-	_, err := net.Send(ep.rank, to, ep.wireBytes(w.payloadBytes), w, proto, func(m *netsim.Message) {
+	_, err := net.Send(ep.rank, to, nbytes, w, proto, func(m *netsim.Message) {
 		ww := m.Payload.(*wire)
 		if m.Dropped {
 			// Lost to the loss model or to a crashed endpoint. Release the
@@ -492,7 +548,10 @@ func (ep *Endpoint) transmit(w *wire, finalTo int) {
 			dst.transmit(ww, ww.finalTo)
 			return
 		}
-		ep.env.opts.Trace.AddMsg(ww.from, dst.rank, sentAt, m.DeliverAt)
+		ww.msgIdx = ep.env.opts.Trace.AddMsg(trace.Msg{
+			From: ww.from, To: dst.rank, Sent: sentAt, Recv: m.DeliverAt,
+			Kind: ww.kind.msgKind(), Bytes: nbytes, Iter: ww.traceIter(),
+		})
 		dst.receive(ww)
 	}, opts...)
 	if err != nil {
@@ -542,6 +601,7 @@ func (ep *Endpoint) receive(w *wire) {
 	case wBarRelease:
 		if g, ok := ep.barrierGates[w.round]; ok {
 			delete(ep.barrierGates, w.round)
+			ep.barCause[w.round] = w.msgIdx
 			g.Open()
 		}
 	case wRedContrib:
@@ -570,6 +630,7 @@ func (ep *Endpoint) receive(w *wire) {
 		}
 	case wRedResult:
 		ep.redResults[w.round] = w.values
+		ep.redCause[w.round] = w.msgIdx
 		if g, ok := ep.redGates[w.round]; ok {
 			g.Open()
 		}
@@ -625,6 +686,7 @@ func (ep *Endpoint) TrySendData(p *des.Proc, o aiac.Outgoing) bool {
 func (ep *Endpoint) SetDataSink(fn func(aiac.DataMsg)) { ep.dataSink = fn }
 
 func (ep *Endpoint) deliverData(w *wire) {
+	ep.lastDeliver = w.msgIdx
 	if w.rendezvous && w.hasKey && w.senderEp != nil {
 		// Rendezvous completion: the matching receive has now been
 		// consumed, so the sender's next send on this channel may start.
@@ -692,7 +754,9 @@ func (ep *Endpoint) Barrier(p *des.Proc) {
 	g := des.NewGate(ep.env.grid.Sim)
 	ep.barrierGates[round] = g
 	ep.control(wire{kind: wBarArrive, from: ep.rank, round: round}, 0)
+	t0 := p.Now()
 	g.Wait(p)
+	ep.env.opts.Trace.AddWait(ep.rank, t0, p.Now(), trace.WaitBarrier, takeCause(ep.barCause, round))
 }
 
 // SyncExchange implements the SISC blocking exchange. On the mono-threaded
@@ -720,14 +784,17 @@ func (ep *Endpoint) SyncExchange(p *des.Proc, sends []aiac.Outgoing, nRecv int) 
 		// Threaded receives: wait until this round's messages have been
 		// delivered by the receive threads.
 		ep.syncTarget += nRecv
+		t0 := p.Now()
 		for ep.syncRecvd < ep.syncTarget {
 			g := des.NewGate(ep.env.grid.Sim)
 			ep.syncWake = g
 			g.Wait(p)
 		}
+		ep.env.opts.Trace.AddWait(ep.rank, t0, p.Now(), trace.WaitExchange, ep.lastDeliver)
 		return
 	}
 	// Blocking receives of this iteration's dependency data.
+	t0 := p.Now()
 	for i := 0; i < nRecv; i++ {
 		v, ok := ep.syncData.Recv(p)
 		if !ok {
@@ -737,6 +804,7 @@ func (ep *Endpoint) SyncExchange(p *des.Proc, sends []aiac.Outgoing, nRecv int) 
 		ep.chargeUnpack(p, w.payloadBytes)
 		ep.deliverData(w)
 	}
+	ep.env.opts.Trace.AddWait(ep.rank, t0, p.Now(), trace.WaitExchange, ep.lastDeliver)
 }
 
 // AllreduceMax implements aiac.Comm via gather-to-0 plus broadcast.
@@ -759,7 +827,9 @@ func (ep *Endpoint) allreduce(p *des.Proc, op redOp, vs []float64) []float64 {
 	w := wire{kind: wRedContrib, from: ep.rank, round: round, redOp: op, values: contrib}
 	w.payloadBytes = controlPayloadBytes + 8*len(vs)
 	ep.transmit(&w, 0)
+	t0 := p.Now()
 	g.Wait(p)
+	ep.env.opts.Trace.AddWait(ep.rank, t0, p.Now(), trace.WaitReduce, takeCause(ep.redCause, round))
 	delete(ep.redGates, round)
 	res := ep.redResults[round]
 	delete(ep.redResults, round)
@@ -772,6 +842,7 @@ func (ep *Endpoint) ResetSession() {
 	ep.inflight = make(map[int]bool)
 	ep.syncRecvd, ep.syncTarget = 0, 0
 	ep.syncWake = nil
+	ep.lastDeliver = -1
 }
 
 // compile-time interface checks

@@ -6,6 +6,7 @@ import (
 	"aiac/internal/aiac"
 	"aiac/internal/des"
 	"aiac/internal/marcel"
+	"aiac/internal/trace"
 )
 
 // Event-loop execution of the middleware threads (Options.EventLoop): the
@@ -181,7 +182,11 @@ func (ep *Endpoint) BarrierK(p *des.Proc, k func()) {
 	g := des.NewGate(ep.env.grid.Sim)
 	ep.barrierGates[round] = g
 	ep.control(wire{kind: wBarArrive, from: ep.rank, round: round}, 0)
-	g.WaitK(p, k)
+	t0 := p.Now()
+	g.WaitK(p, func() {
+		ep.env.opts.Trace.AddWait(ep.rank, t0, p.Now(), trace.WaitBarrier, takeCause(ep.barCause, round))
+		k()
+	})
 }
 
 // SyncExchangeK is the continuation form of SyncExchange.
@@ -212,9 +217,11 @@ func (ep *Endpoint) SyncExchangeK(p *des.Proc, sends []aiac.Outgoing, nRecv int,
 func (ep *Endpoint) syncRecvK(p *des.Proc, nRecv int, k func()) {
 	if ep.env.opts.RecvModel != RecvSync {
 		ep.syncTarget += nRecv
+		t0 := p.Now()
 		var wait func()
 		wait = func() {
 			if ep.syncRecvd >= ep.syncTarget {
+				ep.env.opts.Trace.AddWait(ep.rank, t0, p.Now(), trace.WaitExchange, ep.lastDeliver)
 				k()
 				return
 			}
@@ -225,9 +232,11 @@ func (ep *Endpoint) syncRecvK(p *des.Proc, nRecv int, k func()) {
 		wait()
 		return
 	}
+	t0 := p.Now()
 	var recvNext func(i int)
 	recvNext = func(i int) {
 		if i == nRecv {
+			ep.env.opts.Trace.AddWait(ep.rank, t0, p.Now(), trace.WaitExchange, ep.lastDeliver)
 			k()
 			return
 		}
@@ -265,7 +274,9 @@ func (ep *Endpoint) allreduceK(p *des.Proc, op redOp, vs []float64, k func([]flo
 	w := wire{kind: wRedContrib, from: ep.rank, round: round, redOp: op, values: contrib}
 	w.payloadBytes = controlPayloadBytes + 8*len(vs)
 	ep.transmit(&w, 0)
+	t0 := p.Now()
 	g.WaitK(p, func() {
+		ep.env.opts.Trace.AddWait(ep.rank, t0, p.Now(), trace.WaitReduce, takeCause(ep.redCause, round))
 		delete(ep.redGates, round)
 		res := ep.redResults[round]
 		delete(ep.redResults, round)

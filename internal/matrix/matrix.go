@@ -131,6 +131,61 @@ func Supported(env string, mode aiac.Mode) bool {
 	return !(env == "mpi" && mode == aiac.Async)
 }
 
+// ParseKey parses a cell key exactly as Cell.Key / report.Result.Key
+// prints it — env/mode/grid/problem/pP/nN/scenario/backend — back into a
+// Cell, validating every axis value. It is the inverse that lets any cell
+// named in a sweep's output be re-run verbatim (aiactrace -explain).
+func ParseKey(key string) (Cell, error) {
+	parts := strings.Split(key, "/")
+	if len(parts) != 8 {
+		return Cell{}, fmt.Errorf("cell key %q: want env/mode/grid/problem/pP/nN/scenario/backend", key)
+	}
+	var c Cell
+	bad := func(axis string, err error) (Cell, error) {
+		return Cell{}, fmt.Errorf("cell key %q: %s: %v", key, axis, err)
+	}
+	envs, err := ParseEnvs(parts[0])
+	if err != nil {
+		return bad("env", err)
+	}
+	modes, err := ParseModes(parts[1])
+	if err != nil {
+		return bad("mode", err)
+	}
+	grids, err := ParseGrids(parts[2])
+	if err != nil {
+		return bad("grid", err)
+	}
+	probs, err := ParseProblems(parts[3])
+	if err != nil {
+		return bad("problem", err)
+	}
+	procs, err := strconv.Atoi(strings.TrimPrefix(parts[4], "p"))
+	if err != nil || !strings.HasPrefix(parts[4], "p") || procs <= 0 {
+		return Cell{}, fmt.Errorf("cell key %q: procs component %q: want pN", key, parts[4])
+	}
+	size, err := strconv.Atoi(strings.TrimPrefix(parts[5], "n"))
+	if err != nil || !strings.HasPrefix(parts[5], "n") || size <= 0 {
+		return Cell{}, fmt.Errorf("cell key %q: size component %q: want nN", key, parts[5])
+	}
+	scens, err := ParseScenarios(parts[6])
+	if err != nil {
+		return bad("scenario", err)
+	}
+	backends, err := ParseBackends(parts[7])
+	if err != nil {
+		return bad("backend", err)
+	}
+	c = Cell{
+		Env: envs[0], Mode: modes[0], Grid: grids[0], Problem: probs[0],
+		Procs: procs, Size: size, Scenario: scens[0], Backend: backends[0],
+	}
+	if !Supported(c.Env, c.Mode) {
+		return Cell{}, fmt.Errorf("cell key %q: %s does not support %s mode", key, c.Env, c.Mode)
+	}
+	return c, nil
+}
+
 // LinearParams tunes the sparse linear problem cells (§4.2, Table 1).
 type LinearParams struct {
 	Diags    int     // off-diagonal bands

@@ -389,11 +389,33 @@ func TestNativeCellTimeoutStalls(t *testing.T) {
 	}
 }
 
-func TestTracingNativeCellRejected(t *testing.T) {
-	c := Cell{Env: NativeEnv, Mode: aiac.Async, Grid: "local", Problem: "linear",
-		Procs: 2, Size: 500, Backend: "chan"}
+func TestTracingNativeCell(t *testing.T) {
+	// The chemical problem runs one native solve per time step, each with
+	// its own clock epoch — the one native shape that cannot be traced.
+	c := Cell{Env: NativeEnv, Mode: aiac.Async, Grid: "local", Problem: "chem",
+		Procs: 2, Size: 6, Backend: "chan"}
 	if _, err := RunCellOnce(c, DefaultSpec(), 0, 0, 0, trace.New()); err == nil {
-		t.Fatal("tracing a native cell should be rejected")
+		t.Fatal("tracing a native chem cell should be rejected")
+	}
+	// Single-solve problems trace natively: compute spans, blocking
+	// waits, and paired send/receive message records in wall-clock
+	// nanoseconds.
+	c.Problem = "linear"
+	c.Size = 500
+	tr := trace.New()
+	spec := DefaultSpec()
+	spec.Sizes = []int{500}
+	if _, err := RunCellOnce(c, spec, 0, 0, 0, tr); err != nil {
+		t.Fatalf("tracing a native linear cell: %v", err)
+	}
+	if len(tr.Spans) == 0 || len(tr.Msgs) == 0 || len(tr.Waits) == 0 {
+		t.Fatalf("native trace incomplete: %d spans, %d msgs, %d waits",
+			len(tr.Spans), len(tr.Msgs), len(tr.Waits))
+	}
+	for _, m := range tr.Msgs {
+		if m.Recv < m.Sent {
+			t.Fatalf("message recv %v before its send %v", m.Recv, m.Sent)
+		}
 	}
 }
 

@@ -60,4 +60,14 @@ func recordResult(reg *obs.Registry, r report.Result) {
 				"flag").With(f).Inc()
 		}
 	}
+	if r.AttrTotalSec > 0 {
+		crit := reg.Counter("aiac_critpath_seconds",
+			"Critical-path time attributed to each cause category, summed over attributed cells (virtual seconds).",
+			"category")
+		crit.With("compute").Add(r.AttrComputeSec)
+		crit.With("transit").Add(r.AttrTransitSec)
+		crit.With("sync-wait").Add(r.AttrSyncWaitSec)
+		crit.With("protocol").Add(r.AttrProtocolSec)
+		crit.With("blocked-send").Add(r.AttrBlockedSendSec)
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"aiac/internal/gmres"
 	"aiac/internal/la"
 	"aiac/internal/obs"
+	"aiac/internal/obs/critpath"
 	"aiac/internal/problems"
 	"aiac/internal/protocol"
 	"aiac/internal/report"
@@ -260,6 +261,24 @@ type measurement struct {
 	// flags holds the repetition's convergence red-flag verdicts
 	// (internal/obs detectors), comma-separated and sorted.
 	flags string
+
+	// Critical-path attribution of the repetition's trace
+	// (internal/obs/critpath), zero when the repetition was not traced.
+	// Deliberately excluded from less(): attribution exists only for the
+	// traced repetition, so letting it order measurements would make the
+	// median pick depend on which repetition carried the trace.
+	attr attribution
+}
+
+// attribution is the per-category split of one traced repetition's
+// simulated time, in seconds. totalSec == 0 means "not attributed".
+type attribution struct {
+	totalSec       float64
+	computeSec     float64
+	transitSec     float64
+	syncWaitSec    float64
+	protocolSec    float64
+	blockedSendSec float64
 }
 
 // less orders measurements lexicographically over every field — a total
@@ -327,6 +346,9 @@ func (m measurement) result(c Cell) report.Result {
 		Heartbeats: m.heartbeats, StopRebroadcasts: m.rebroadcasts, ReconfirmRounds: m.reconfirms,
 		GraceSec: m.proto.Grace.Seconds(), HeartbeatSec: m.proto.Heartbeat.Seconds(),
 		PersistIters: m.proto.PersistIters,
+		AttrTotalSec: m.attr.totalSec, AttrComputeSec: m.attr.computeSec,
+		AttrTransitSec: m.attr.transitSec, AttrSyncWaitSec: m.attr.syncWaitSec,
+		AttrProtocolSec: m.attr.protocolSec, AttrBlockedSendSec: m.attr.blockedSendSec,
 	}
 }
 
@@ -390,7 +412,22 @@ func runCellAttempt(c Cell, spec Spec, reps int, seed int64, timeout time.Durati
 	t0 := time.Now()
 	ms := make([]measurement, 0, reps)
 	for rep := 0; rep < reps; rep++ {
-		m, err := runOnce(c, spec, rep, seed, timeout, nil, cache)
+		// The first repetition of every simulated cell is traced so its
+		// critical path can be attributed (runOnce); the collector itself
+		// is transient — only the per-category seconds reach the result.
+		// Tracing is pure host-side appends for the simulators, so the
+		// measured virtual time is byte-identical with and without it
+		// (the differential suite holds both engines to this). Native
+		// cells are NOT traced in sweeps: their wall clock is the
+		// measurement, and tracing adds clock reads and stamp-exchange
+		// locking to the hot loops. Their attribution is available on
+		// demand through RunCellOnce/aiactrace -critpath, where the run
+		// exists to be explained rather than measured.
+		var tr *trace.Collector
+		if rep == 0 && SimulatedBackend(c.backendName()) {
+			tr = trace.New()
+		}
+		m, err := runOnce(c, spec, rep, seed, timeout, tr, cache)
 		if err != nil {
 			// Record what actually happened: how many repetitions
 			// completed, and which one failed.
@@ -425,6 +462,20 @@ func aggregate(c Cell, ms []measurement) report.Result {
 	sort.Slice(ms, func(i, j int) bool { return ms[i].less(ms[j]) })
 	out := ms[(len(ms)-1)/2].result(c)
 	out.Reps = len(ms)
+	// The attribution rides on whichever repetition was traced (the
+	// first), which after sorting is not necessarily the median: take it
+	// from the measurement that has one.
+	for _, m := range ms {
+		if m.attr.totalSec > 0 {
+			out.AttrTotalSec = m.attr.totalSec
+			out.AttrComputeSec = m.attr.computeSec
+			out.AttrTransitSec = m.attr.transitSec
+			out.AttrSyncWaitSec = m.attr.syncWaitSec
+			out.AttrProtocolSec = m.attr.protocolSec
+			out.AttrBlockedSendSec = m.attr.blockedSendSec
+			break
+		}
+	}
 	out.MinTimeSec = ms[0].timeSec
 	out.Converged, out.Stalled = true, false
 	out.Restarts, out.ReconvergeSec, out.Dropped = 0, 0, 0
@@ -469,8 +520,8 @@ func aggregate(c Cell, ms []measurement) report.Result {
 // repetition (Reps == 1).
 func RunCellOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector) (report.Result, error) {
 	spec = spec.withDefaults()
-	if !SimulatedBackend(c.backendName()) && tr != nil {
-		return report.Result{}, fmt.Errorf("tracing needs a simulated backend (cell %s runs natively)", c.Key())
+	if !SimulatedBackend(c.backendName()) && tr != nil && c.Problem == "chem" {
+		return report.Result{}, fmt.Errorf("tracing a native cell needs a single-solve problem (cell %s runs one solve per time step)", c.Key())
 	}
 	m, err := runOnce(c, spec, rep, seed, timeout, tr, nil)
 	if err != nil {
@@ -484,7 +535,7 @@ func RunCellOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, 
 // supplies memoized problem assembly (a nil cache builds fresh systems).
 func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector, cache *problems.Cache) (measurement, error) {
 	if !SimulatedBackend(c.backendName()) {
-		return runNative(c, spec, rep, seed, timeout, cache)
+		return runNative(c, spec, rep, seed, timeout, tr, cache)
 	}
 	// The sim-fast backend is the same simulation executed by the
 	// continuation engine: an event-loop environment, a task-driven
@@ -592,6 +643,21 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 		return measurement{}, fmt.Errorf("unknown problem %q", c.Problem)
 	}
 	m.flags = strings.Join(obs.Detect(resid, m.converged, obs.DetectorParams{Eps: cellEps(c, spec)}), ",")
+	// Attribute the run's critical path while the trace is still alive.
+	// Cells that record no compute spans (the global-Newton chem path) are
+	// not attributable and keep a zero attribution.
+	if tr != nil {
+		if a, ok := critpath.Analyze(tr, critpath.TotalFromSeconds(m.timeSec)); ok {
+			m.attr = attribution{
+				totalSec:       a.Total.Seconds(),
+				computeSec:     a.Seconds(critpath.CatCompute),
+				transitSec:     a.Seconds(critpath.CatTransit),
+				syncWaitSec:    a.Seconds(critpath.CatSyncWait),
+				protocolSec:    a.Seconds(critpath.CatProtocol),
+				blockedSendSec: a.Seconds(critpath.CatBlockedSend),
+			}
+		}
+	}
 	st := grid.Net.StatsSnapshot()
 	m.messages = st.Messages
 	m.bytes = st.Bytes
@@ -612,10 +678,18 @@ const DefaultNativeTimeout = 2 * time.Minute
 // a fresh grid-shaped (and scenario-shaped) transport, measured in
 // wall-clock time (internal/backend). The repetition perturbs the problem
 // seed exactly like a simulated repetition; every committed problem runs,
-// the chemical one as its per-time-step loop over fresh transports.
-func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, cache *problems.Cache) (measurement, error) {
+// the chemical one as its per-time-step loop over fresh transports. tr,
+// when non-nil, collects the solve's wall-clock execution flow
+// (backend.Config.Trace) and the measurement carries its critical-path
+// attribution — single-solve problems only: the chemical loop runs one
+// solve per time step, each with its own clock epoch, so its cells stay
+// unattributed.
+func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *trace.Collector, cache *problems.Cache) (measurement, error) {
 	if !backend.NativeScenario(c.scenarioName()) {
 		return measurement{}, fmt.Errorf("scenario %q has no native analogue", c.Scenario)
+	}
+	if c.Problem == "chem" {
+		tr = nil
 	}
 	if timeout <= 0 {
 		timeout = DefaultNativeTimeout
@@ -635,17 +709,17 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, ca
 	// One solve over a freshly shaped transport; the chem loop below runs
 	// it once per time step.
 	solve := func(prob aiac.Problem, eps float64, maxIters int) (*backend.Report, error) {
-		tr, err := backend.NewTransport(c.backendName(), c.Procs)
+		tp, err := backend.NewTransport(c.backendName(), c.Procs)
 		if err != nil {
 			return nil, err
 		}
-		if err := backend.ApplyScenarioShaping(tr, c.Grid, c.scenarioName(), lossSeed); err != nil {
+		if err := backend.ApplyScenarioShaping(tp, c.Grid, c.scenarioName(), lossSeed); err != nil {
 			return nil, err
 		}
-		return backend.Run(prob, tr, backend.Config{
+		return backend.Run(prob, tp, backend.Config{
 			Mode: c.Mode, Eps: eps, MaxIters: maxIters,
 			Timeout: timeout, StallAfter: stallAfter,
-			Residuals: resid,
+			Residuals: resid, Trace: tr,
 		})
 	}
 	fold := func(m *measurement, rpt *backend.Report, xtrue []float64) {
@@ -716,6 +790,24 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, ca
 		return measurement{}, fmt.Errorf("unknown problem %q", c.Problem)
 	}
 	m.flags = strings.Join(obs.Detect(resid, m.converged, obs.DetectorParams{Eps: cellEps(c, spec)}), ",")
+	// Native attribution runs against the trace's own horizon rather than
+	// the reported wall time: the wall measurement starts at the first
+	// post-barrier rank, while the trace clock starts at the solve's
+	// epoch, so the horizon additionally covers the entry barrier and the
+	// teardown tail. The category split is what matters; the small extra
+	// total is protocol overhead by definition.
+	if tr != nil {
+		if a, ok := critpath.Analyze(tr, tr.Horizon()); ok {
+			m.attr = attribution{
+				totalSec:       a.Total.Seconds(),
+				computeSec:     a.Seconds(critpath.CatCompute),
+				transitSec:     a.Seconds(critpath.CatTransit),
+				syncWaitSec:    a.Seconds(critpath.CatSyncWait),
+				protocolSec:    a.Seconds(critpath.CatProtocol),
+				blockedSendSec: a.Seconds(critpath.CatBlockedSend),
+			}
+		}
+	}
 	return m, nil
 }
 

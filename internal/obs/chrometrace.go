@@ -5,14 +5,16 @@ package obs
 // simulators record — as Chrome trace-event JSON (the "JSON Array
 // Format"), which Perfetto and chrome://tracing load directly. This
 // replaces squinting at the ASCII Gantt for large cells: a 120-rank
-// chem trace opens as a zoomable timeline with one track per processor
-// and a second process grouping the message flights.
+// chem trace opens as a zoomable timeline with one track per processor.
 //
-// Layout: pid 0 ("processors") holds one thread per rank, with complete
-// ("X") events for every compute and idle span; pid 1 ("messages") holds
-// one thread per sending rank, with an X event per message stretching
-// from send to receive. Timestamps and durations are microseconds of
-// virtual time, as the format requires.
+// Layout: a single process ("processors") holds one thread per rank,
+// with complete ("X") events for every compute and idle span. Messages
+// are flow events ("s" at the send instant on the sender's track, "f"
+// with bp:"e" at the receive instant on the receiver's track), which
+// Perfetto draws as arrows between the rank tracks — the causal hops the
+// critical-path analyzer walks, visible in the same timeline they cut
+// across. Timestamps and durations are microseconds of virtual time, as
+// the format requires.
 
 import (
 	"encoding/json"
@@ -25,21 +27,23 @@ import (
 
 // traceEvent is one entry of the traceEvents array. Fields follow the
 // Trace Event Format spec; Args carries the per-event detail Perfetto
-// shows in the selection panel.
+// shows in the selection panel. ID pairs the two halves of a flow event,
+// and BP ("binding point") set to "e" binds the finish half to the slice
+// enclosing its timestamp rather than the next slice to start.
 type traceEvent struct {
 	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
 	TsUS  float64        `json:"ts"`
 	DurUS float64        `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
+	ID    int            `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
-const (
-	pidProcessors = 0
-	pidMessages   = 1
-)
+const pidProcessors = 0
 
 func us(t des.Time) float64 { return float64(t) / 1e3 } // des.Time is ns
 
@@ -52,8 +56,8 @@ func WriteChromeTrace(w io.Writer, tc *trace.Collector) error {
 	}
 	var events []traceEvent
 
-	// Metadata: name the two processes and every thread, so Perfetto
-	// labels tracks "P0", "P1", ... instead of bare tids.
+	// Metadata: name the process and every thread, so Perfetto labels
+	// tracks "P0", "P1", ... instead of bare tids.
 	meta := func(pid, tid int, key, name string) {
 		events = append(events, traceEvent{
 			Name: key, Phase: "M", PID: pid, TID: tid,
@@ -66,9 +70,7 @@ func WriteChromeTrace(w io.Writer, tc *trace.Collector) error {
 			nRanks = s.Rank + 1
 		}
 	}
-	senders := map[int]bool{}
 	for _, m := range tc.Msgs {
-		senders[m.From] = true
 		if m.From+1 > nRanks {
 			nRanks = m.From + 1
 		}
@@ -79,14 +81,6 @@ func WriteChromeTrace(w io.Writer, tc *trace.Collector) error {
 	meta(pidProcessors, 0, "process_name", "processors")
 	for r := 0; r < nRanks; r++ {
 		meta(pidProcessors, r, "thread_name", fmt.Sprintf("P%d", r))
-	}
-	if len(tc.Msgs) > 0 {
-		meta(pidMessages, 0, "process_name", "messages")
-		for r := 0; r < nRanks; r++ {
-			if senders[r] {
-				meta(pidMessages, r, "thread_name", fmt.Sprintf("from P%d", r))
-			}
-		}
 	}
 
 	for _, s := range tc.Spans {
@@ -102,13 +96,27 @@ func WriteChromeTrace(w io.Writer, tc *trace.Collector) error {
 			PID: pidProcessors, TID: s.Rank, Args: args,
 		})
 	}
-	for _, m := range tc.Msgs {
-		events = append(events, traceEvent{
-			Name: fmt.Sprintf("P%d→P%d", m.From, m.To), Phase: "X",
-			TsUS: us(m.Sent), DurUS: us(m.Recv - m.Sent),
-			PID: pidMessages, TID: m.From,
-			Args: map[string]any{"to": m.To, "latency_ms": float64(m.Recv-m.Sent) / 1e6},
-		})
+	// Each message is one flow: the start half binds to the sender's
+	// slice at the send instant, the finish half (bp:"e") to the
+	// receiver's slice enclosing the arrival. Flow IDs start at 1 —
+	// id 0 is omitted by omitempty and viewers treat the halves as
+	// unpaired. Name and cat must match across the pair.
+	for i, m := range tc.Msgs {
+		name := m.Kind.String()
+		events = append(events,
+			traceEvent{
+				Name: name, Cat: "msg", Phase: "s",
+				TsUS: us(m.Sent), PID: pidProcessors, TID: m.From, ID: i + 1,
+				Args: map[string]any{
+					"to": m.To, "bytes": m.Bytes, "iter": m.Iter,
+					"latency_ms": float64(m.Recv-m.Sent) / 1e6,
+				},
+			},
+			traceEvent{
+				Name: name, Cat: "msg", Phase: "f", BP: "e",
+				TsUS: us(m.Recv), PID: pidProcessors, TID: m.To, ID: i + 1,
+			},
+		)
 	}
 
 	enc := json.NewEncoder(w)

@@ -26,8 +26,11 @@ import (
 // counters only against baselines that recorded them (schema >= 2).
 // Version 3 added the convergence red-flag verdicts (Flags, from
 // internal/obs's trajectory detectors), compared exactly against
-// baselines at schema >= 3.
-const Schema = 3
+// baselines at schema >= 3. Version 4 added the causal critical-path
+// attribution columns (Attr*Sec, from internal/obs/critpath): the first
+// repetition's convergence time split into compute, network transit,
+// synchronisation waits, protocol overhead and blocked sends.
+const Schema = 4
 
 // Result is the outcome of one experiment cell, aggregated over its
 // repetitions.
@@ -109,6 +112,26 @@ type Result struct {
 	// Deterministic for simulated cells, so Regressions compares it
 	// exactly against baselines that recorded it (schema >= 3).
 	Flags string `json:"flags,omitempty"`
+	// AttrTotalSec and the five Attr*Sec columns are the causal
+	// critical-path attribution of the cell's first repetition
+	// (internal/obs/critpath): every nanosecond of the end-to-end
+	// convergence time charged to exactly one cause, so the five category
+	// columns sum to AttrTotalSec — which equals that repetition's
+	// simulated time — by construction. Compute is productive iteration
+	// work; transit is asynchronous message flight the path waited on;
+	// sync-wait is blocking synchronisation (barriers, lockstep
+	// exchanges, reductions, including the flight time of the message
+	// that released the block); protocol is confirmation/grace/recovery
+	// overhead plus setup and teardown; blocked-send is time packing or
+	// queuing outbound data. Zero AttrTotalSec means the cell was not
+	// attributed (no trace: native cells without trace support, or the
+	// global-Newton chem path, which records no compute spans).
+	AttrTotalSec       float64 `json:"attr_total_sec,omitempty"`
+	AttrComputeSec     float64 `json:"attr_compute_sec,omitempty"`
+	AttrTransitSec     float64 `json:"attr_transit_sec,omitempty"`
+	AttrSyncWaitSec    float64 `json:"attr_sync_wait_sec,omitempty"`
+	AttrProtocolSec    float64 `json:"attr_protocol_sec,omitempty"`
+	AttrBlockedSendSec float64 `json:"attr_blocked_send_sec,omitempty"`
 	// HostSec is the host wall time spent simulating this cell (all
 	// repetitions). Not compared across runs.
 	HostSec float64 `json:"host_sec"`
@@ -325,6 +348,54 @@ func (s *Set) FlagsTable() string {
 			conv = "STALL"
 		}
 		fmt.Fprintf(&b, "  %-52s %6s %9d  %s\n", r.Key(), conv, r.Restarts, r.Flags)
+	}
+	return b.String()
+}
+
+// AttributionTable renders the causal critical-path attribution of every
+// attributed cell in the paper's grouping: one block per (problem, grid,
+// procs, size, scenario) group, one line per version, each cell's
+// convergence time split into percentage shares of the five cause
+// categories. This is the table that *explains* the ratio column of
+// Table(): an asynchronous version wins exactly when its critical path is
+// compute where the synchronous baseline's is sync-wait. It returns ""
+// when no cell in the set carries an attribution (schema < 4 files,
+// native-only sweeps).
+func (s *Set) AttributionTable() string {
+	var b strings.Builder
+	seen := make(map[string]bool)
+	for _, r := range s.Results {
+		g := r.group()
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		grp := make([]Result, 0, 8)
+		for _, rr := range s.groupOf(g) {
+			if rr.AttrTotalSec > 0 && rr.Error == "" {
+				grp = append(grp, rr)
+			}
+		}
+		if len(grp) == 0 {
+			continue
+		}
+		if b.Len() == 0 {
+			fmt.Fprintf(&b, "Critical-path attribution (where each version's convergence time goes)\n\n")
+		}
+		fmt.Fprintf(&b, "%s — %s grid, %d procs, n=%d, scenario %s\n", r.Problem, r.Grid, r.Procs, r.Size, r.ScenarioOrStatic())
+		fmt.Fprintf(&b, "  %-16s %12s %9s %9s %10s %9s %9s\n",
+			"version", "total", "compute", "transit", "sync-wait", "protocol", "blk-send")
+		for _, rr := range grp {
+			share := func(sec float64) string {
+				return fmt.Sprintf("%8.1f%%", sec/rr.AttrTotalSec*100)
+			}
+			fmt.Fprintf(&b, "  %-16s %12s %s %s %s %s %s\n",
+				rr.version(), FmtSec(rr.AttrTotalSec),
+				share(rr.AttrComputeSec), share(rr.AttrTransitSec),
+				share(rr.AttrSyncWaitSec), share(rr.AttrProtocolSec),
+				share(rr.AttrBlockedSendSec))
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 	return b.String()
 }
@@ -580,6 +651,21 @@ func Regressions(baseline, current *Set, tolPct float64) []string {
 			out = append(out, fmt.Sprintf("%s: red flags %q, baseline %q",
 				old.Key(), now.Flags, old.Flags))
 			continue
+		}
+		// The attribution categories partition the attributed time, so the
+		// structural comparison is the share, not the seconds (seconds
+		// drift with timing, already gated above). A sync-wait share moving
+		// more than 10 points means the cell's critical path changed
+		// character — a different explanation, not a different measurement.
+		if baseline.Schema >= 4 && simulated(old.BackendOrSim()) &&
+			old.AttrTotalSec > 0 && now.AttrTotalSec > 0 {
+			oldShare := old.AttrSyncWaitSec / old.AttrTotalSec
+			nowShare := now.AttrSyncWaitSec / now.AttrTotalSec
+			if d := (nowShare - oldShare) * 100; d > 10 || d < -10 {
+				out = append(out, fmt.Sprintf("%s: sync-wait share %.1f%%, baseline %.1f%% (moved %+.1f points)",
+					old.Key(), nowShare*100, oldShare*100, d))
+				continue
+			}
 		}
 		if old.TimeSec > 0 {
 			d := (now.TimeSec - old.TimeSec) / old.TimeSec * 100

@@ -164,6 +164,10 @@ func TestDifferentialTrace(t *testing.T) {
 					t.Errorf("message streams diverged on %s seed %d: sim %d msgs, sim-fast %d msgs",
 						c.Key(), seed, len(slow.Msgs), len(fast.Msgs))
 				}
+				if !reflect.DeepEqual(slow.Waits, fast.Waits) {
+					t.Errorf("wait streams diverged on %s seed %d: sim %d waits, sim-fast %d waits",
+						c.Key(), seed, len(slow.Waits), len(fast.Waits))
+				}
 			}
 		})
 	}

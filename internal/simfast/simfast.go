@@ -243,7 +243,9 @@ func (e *run) crashed(r int) bool {
 // recoverRankK is the continuation form of the goroutine engine's
 // recoverRank: park until the node is up, then lose the rank's state.
 func (e *run) recoverRankK(p *des.Proc, r int, k func()) {
+	t0 := p.Now()
 	e.dyn.WaitUpK(p, r, func() {
+		e.cfg.Trace.AddWait(r, t0, p.Now(), trace.WaitRecovery, -1)
 		e.epochs[r] = e.dyn.Epoch(r)
 		e.restarts++
 		e.cfg.Residuals.MarkRestart(r, p.Now().Seconds())

@@ -35,17 +35,107 @@ type Span struct {
 	Iter       int
 }
 
-// Msg is one data communication.
+// MsgKind classifies a message by its role in the protocol, so the
+// critical-path analyzer can attribute its transit to the right category.
+type MsgKind int
+
+const (
+	// MsgData carries iterate components between neighbouring processors.
+	MsgData MsgKind = iota
+	// MsgState carries local convergence state to the coordinator.
+	MsgState
+	// MsgStop is the coordinator's global-convergence broadcast.
+	MsgStop
+	// MsgBarrier is barrier traffic (arrive / release).
+	MsgBarrier
+	// MsgReduce is allreduce traffic (contribution / result).
+	MsgReduce
+)
+
+// String returns the short lower-case name used in listings and exports.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgData:
+		return "data"
+	case MsgState:
+		return "state"
+	case MsgStop:
+		return "stop"
+	case MsgBarrier:
+		return "barrier"
+	case MsgReduce:
+		return "reduce"
+	}
+	return "msg"
+}
+
+// Msg is one delivered communication.
 type Msg struct {
 	From, To   int
 	Sent, Recv des.Time
+	Kind       MsgKind
+	// Bytes is the wire size of the message (header plus payload), as
+	// charged by the transport.
+	Bytes int
+	// Iter is the iteration / sequence number the payload belongs to
+	// (data: producing iteration; state: state sequence; barrier/reduce:
+	// round; stop: 0).
+	Iter int
 }
 
-// Collector accumulates spans and messages. A nil *Collector is valid and
-// records nothing, so instrumented code never needs nil checks.
+// WaitKind classifies a blocking wait.
+type WaitKind int
+
+const (
+	// WaitBarrier is a session-entry barrier.
+	WaitBarrier WaitKind = iota
+	// WaitExchange is a synchronous data exchange blocked on neighbour
+	// iterates.
+	WaitExchange
+	// WaitReduce is an allreduce blocked on the coordinator's result.
+	WaitReduce
+	// WaitRecovery is time parked while the local node was crashed.
+	WaitRecovery
+	// WaitBlockedSend is a blocking send (native backends: waiting for
+	// helper send goroutines to drain).
+	WaitBlockedSend
+)
+
+// String returns the short lower-case name used in listings.
+func (k WaitKind) String() string {
+	switch k {
+	case WaitBarrier:
+		return "barrier"
+	case WaitExchange:
+		return "exchange"
+	case WaitReduce:
+		return "reduce"
+	case WaitRecovery:
+		return "recovery"
+	case WaitBlockedSend:
+		return "blocked-send"
+	}
+	return "wait"
+}
+
+// Wait is one blocking interval of one processor, with the causal binding
+// the instrumentation point knows at wake-up time: which message's arrival
+// ended the wait.
+type Wait struct {
+	Rank       int
+	Start, End des.Time
+	Kind       WaitKind
+	// Cause is the index into Collector.Msgs of the message whose arrival
+	// ended this wait, or -1 when unknown (recovery waits, native waits).
+	Cause int
+}
+
+// Collector accumulates spans, messages and waits. A nil *Collector is
+// valid and records nothing, so instrumented code never needs nil checks.
 type Collector struct {
 	Spans []Span
 	Msgs  []Msg
+	Waits []Wait
 }
 
 // New returns an empty collector.
@@ -60,12 +150,23 @@ func (c *Collector) AddSpan(rank int, start, end des.Time, kind Kind, iter int) 
 	c.Spans = append(c.Spans, Span{Rank: rank, Start: start, End: end, Kind: kind, Iter: iter})
 }
 
-// AddMsg records a delivered data message. No-op on nil.
-func (c *Collector) AddMsg(from, to int, sent, recv des.Time) {
+// AddMsg records a delivered message and returns its index in Msgs, so the
+// receiver can bind it as a wait cause. Returns -1 on a nil collector.
+func (c *Collector) AddMsg(m Msg) int {
 	if c == nil {
+		return -1
+	}
+	c.Msgs = append(c.Msgs, m)
+	return len(c.Msgs) - 1
+}
+
+// AddWait records a blocking interval. No-op on a nil collector or an
+// empty interval (a wait that was satisfied without blocking).
+func (c *Collector) AddWait(rank int, start, end des.Time, kind WaitKind, cause int) {
+	if c == nil || end <= start {
 		return
 	}
-	c.Msgs = append(c.Msgs, Msg{From: from, To: to, Sent: sent, Recv: recv})
+	c.Waits = append(c.Waits, Wait{Rank: rank, Start: start, End: end, Kind: kind, Cause: cause})
 }
 
 // Horizon returns the last span end time.

@@ -13,7 +13,10 @@ func ms(n int) des.Time { return des.Time(n) * time.Millisecond }
 func TestNilCollectorIsSafe(t *testing.T) {
 	var c *Collector
 	c.AddSpan(0, 0, ms(1), Compute, 0)
-	c.AddMsg(0, 1, 0, ms(1))
+	if idx := c.AddMsg(Msg{From: 0, To: 1, Sent: 0, Recv: ms(1)}); idx != -1 {
+		t.Fatalf("nil AddMsg index = %d, want -1", idx)
+	}
+	c.AddWait(0, 0, ms(1), WaitBarrier, -1)
 	if got := c.Gantt(40); !strings.Contains(got, "empty") {
 		t.Fatalf("nil gantt = %q", got)
 	}
@@ -41,6 +44,29 @@ func TestBusyIdleAccounting(t *testing.T) {
 	}
 }
 
+// TestIdleFractionMatchesBusyIdle pins IdleFraction to the exact
+// idle/(busy+idle) derivation from one BusyIdle read — the invariant
+// aiacrun -metrics relies on when it emits the fraction and the absolute
+// busy/idle seconds from a single call per rank.
+func TestIdleFractionMatchesBusyIdle(t *testing.T) {
+	c := New()
+	c.AddSpan(0, 0, ms(7), Compute, 0)
+	c.AddSpan(0, ms(7), ms(10), Idle, 0)
+	c.AddSpan(0, ms(10), ms(31), Compute, 1)
+	c.AddSpan(1, 0, ms(13), Idle, 0)
+	c.AddSpan(2, 0, ms(5), Compute, 0)
+	for r := 0; r < 4; r++ { // rank 3 has no spans at all
+		busy, idle := c.BusyIdle(r)
+		want := 0.0
+		if total := busy + idle; total > 0 {
+			want = float64(idle) / float64(total)
+		}
+		if got := c.IdleFraction(r); got != want {
+			t.Errorf("rank %d: IdleFraction = %v, BusyIdle-derived = %v", r, got, want)
+		}
+	}
+}
+
 func TestEmptySpanIgnored(t *testing.T) {
 	c := New()
 	c.AddSpan(0, ms(5), ms(5), Compute, 0)
@@ -64,7 +90,7 @@ func TestGanttRendersRows(t *testing.T) {
 	c.AddSpan(0, 0, ms(50), Compute, 0)
 	c.AddSpan(0, ms(50), ms(100), Idle, 0)
 	c.AddSpan(1, 0, ms(100), Compute, 0)
-	c.AddMsg(0, 1, ms(10), ms(20))
+	c.AddMsg(Msg{From: 0, To: 1, Sent: ms(10), Recv: ms(20), Kind: MsgData, Bytes: 64, Iter: 1})
 	g := c.Gantt(40)
 	if !strings.Contains(g, "P0 ") || !strings.Contains(g, "P1 ") {
 		t.Fatalf("gantt missing rows:\n%s", g)
@@ -91,6 +117,27 @@ func TestGanttRendersRows(t *testing.T) {
 	}
 	if strings.Contains(p1, ".") {
 		t.Fatalf("P1 row shows idle: %s", p1)
+	}
+}
+
+func TestWaitAndMsgRecording(t *testing.T) {
+	c := New()
+	i0 := c.AddMsg(Msg{From: 0, To: 1, Sent: 0, Recv: ms(2), Kind: MsgBarrier})
+	i1 := c.AddMsg(Msg{From: 1, To: 0, Sent: ms(1), Recv: ms(3), Kind: MsgData, Bytes: 24, Iter: 7})
+	if i0 != 0 || i1 != 1 {
+		t.Fatalf("AddMsg indices = %d, %d", i0, i1)
+	}
+	c.AddWait(1, 0, ms(2), WaitBarrier, i0)
+	c.AddWait(1, ms(2), ms(2), WaitExchange, -1) // empty: a wait that never blocked
+	if len(c.Waits) != 1 {
+		t.Fatalf("waits = %+v, want the empty one skipped", c.Waits)
+	}
+	w := c.Waits[0]
+	if w.Rank != 1 || w.Kind != WaitBarrier || w.Cause != i0 || w.End != ms(2) {
+		t.Fatalf("wait = %+v", w)
+	}
+	if MsgData.String() != "data" || WaitBlockedSend.String() != "blocked-send" {
+		t.Fatalf("kind names: %q %q", MsgData, WaitBlockedSend)
 	}
 }
 
