@@ -79,6 +79,7 @@ func main() {
 		sizesF    = flag.String("n", "", "problem sizes (csv; empty = per-problem default)")
 		scenarioF = flag.String("scenario", "", "grid-dynamics scenario filter (csv of "+strings.Join(matrix.ScenarioNames, ", ")+"; empty = static)")
 		backendF  = flag.String("backend", "", "execution-backend filter (csv of sim, sim-fast, chan, tcp; empty = sim; sim-fast is the same simulation on the continuation engine; native backends run wall-clock cells serially after the simulated pool)")
+		operatorF = flag.String("operator", "", "matrix operator for linear/gmres cells: dia (materialized bands; default) or stencil (implicit, O(bands) matrix memory)")
 		timeout   = flag.Duration("timeout", matrix.DefaultNativeTimeout, "wall-clock guard per native cell: a longer-running cell is cancelled and reported as STALL")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "cells simulated concurrently")
 		reps      = flag.Int("reps", 1, "repetitions per cell (median/min aggregation)")
@@ -132,7 +133,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	spec, err := buildSpec(*envF, *modeF, *gridF, *problemF, *procsF, *sizesF, *scenarioF, *backendF)
+	spec, err := buildSpec(*envF, *modeF, *gridF, *problemF, *procsF, *sizesF, *scenarioF, *backendF, *operatorF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -403,9 +404,12 @@ func addStaticIfMissing(spec *matrix.Spec) bool {
 }
 
 // buildSpec assembles the sweep spec from the axis filters.
-func buildSpec(env, mode, grid, problem, procs, sizes, scenarios, backends string) (matrix.Spec, error) {
+func buildSpec(env, mode, grid, problem, procs, sizes, scenarios, backends, operator string) (matrix.Spec, error) {
 	spec := matrix.DefaultSpec()
 	var err error
+	if spec.Linear.Operator, err = matrix.ParseOperator(operator); err != nil {
+		return spec, err
+	}
 	if spec.Envs, err = matrix.ParseEnvs(env); err != nil {
 		return spec, err
 	}

@@ -54,6 +54,7 @@ func main() {
 		eps      = flag.Float64("eps", 1e-7, "convergence threshold")
 		maxIters = flag.Int("maxiters", 1000000, "per-processor iteration cap")
 		matseed  = flag.Int64("matseed", 1, "matrix generator seed")
+		operator = flag.String("operator", "", "matrix operator: dia (materialized bands; default) or stencil (implicit entries recomputed per row, O(diags) matrix memory — for sizes where assembly no longer fits)")
 		seed     = flag.Int64("seed", 0, "run-variation seed, as in aiacbench: network jitter on the simulator, deterministic scenario loss shaping on a native backend (0 = off)")
 		balanced = flag.Bool("balanced", false, "speed-proportional row blocks")
 		gantt    = flag.Bool("gantt", false, "print the execution-flow chart")
@@ -64,6 +65,12 @@ func main() {
 		list     = flag.Bool("list", false, "print the matrix cell key these flags select and exit without running (the key re-runs verbatim in aiacbench/aiactrace)")
 	)
 	flag.Parse()
+
+	op, err := matrix.ParseOperator(*operator)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		// Validate exactly like the run paths, so every printed key is
@@ -131,7 +138,7 @@ func main() {
 				*scenF, strings.Join(backend.NativeScenarioNames, ", "))
 			os.Exit(2)
 		}
-		runNative(*backendF, *mode, *gridName, *scenF, *procs, *n, *diags, *rho, *eps, *maxIters, *matseed, *seed, *timeout)
+		runNative(*backendF, *mode, *gridName, *scenF, op, *procs, *n, *diags, *rho, *eps, *maxIters, *matseed, *seed, *timeout)
 		return
 	}
 
@@ -194,7 +201,7 @@ func main() {
 	} else {
 		rt = scenario.Deploy(scen, grid)
 	}
-	prob := problems.NewLinear(*n, *diags, *rho, *matseed)
+	prob := problems.NewLinearOp(op, *n, *diags, *rho, *matseed)
 	if *balanced {
 		prob.Weights = grid.SpeedWeights()
 	}
@@ -289,7 +296,7 @@ func printMetrics(rep *aiac.Report, tr *trace.Collector, st netsim.Stats, flags 
 // takes, including grid/scenario transport shaping — so the flags (in
 // particular -timeout, the wall-clock guard) behave identically here and
 // in aiacbench.
-func runNative(bk, mode, gridName, scen string, procs, n, diags int, rho, eps float64, maxIters int, matseed, seed int64, timeout time.Duration) {
+func runNative(bk, mode, gridName, scen, op string, procs, n, diags int, rho, eps float64, maxIters int, matseed, seed int64, timeout time.Duration) {
 	modes, err := matrix.ParseModes(mode)
 	if err != nil || len(modes) != 1 {
 		fmt.Fprintf(os.Stderr, "bad -mode %q: want async or sync\n", mode)
@@ -300,7 +307,7 @@ func runNative(bk, mode, gridName, scen string, procs, n, diags int, rho, eps fl
 		Procs: procs, Size: n, Scenario: scen, Backend: bk,
 	}
 	spec := matrix.DefaultSpec()
-	spec.Linear = matrix.LinearParams{Diags: diags, Rho: rho, Eps: eps, MaxIters: maxIters, Seed: matseed}
+	spec.Linear = matrix.LinearParams{Diags: diags, Rho: rho, Eps: eps, MaxIters: maxIters, Seed: matseed, Operator: op}
 	fmt.Printf("solving n=%d (%d diagonals, rho<%.2f) natively on the %s-shaped %s transport, %s, %d procs, scenario %s\n",
 		n, diags, rho, gridName, bk, modes[0], procs, scen)
 	r, err := matrix.RunCellOnce(cell, spec, 0, seed, timeout, nil)

@@ -1,0 +1,93 @@
+package bench
+
+// Allocation regression tests for the per-iteration hot path. Every
+// kernel a rank executes each iteration — the banded matvec, the fused
+// gradient step, and the inner GMRES solve — must be allocation-free
+// after its first call: steady-state allocations would put the garbage
+// collector inside the measured loop and skew every native wall-clock
+// cell. testing.AllocsPerRun pins the budget at exactly zero.
+
+import (
+	"testing"
+
+	"aiac/internal/gmres"
+	"aiac/internal/problems"
+	"aiac/internal/sparse"
+)
+
+func TestRowRangeMulVecAllocs(t *testing.T) {
+	prob := problems.NewLinear(4000, 12, 0.85, 7)
+	bounds := prob.PartitionBounds(8)
+	x := prob.InitialVector()
+	lo, hi := bounds[0], bounds[1]
+	dst := make([]float64, hi-lo)
+	if n := testing.AllocsPerRun(50, func() {
+		prob.A.RowRangeMulVec(lo, hi, dst, x)
+	}); n != 0 {
+		t.Errorf("RowRangeMulVec allocates %.0f per call; want 0", n)
+	}
+}
+
+func TestGradientStepAllocs(t *testing.T) {
+	for _, op := range []string{"dia", "stencil"} {
+		prob := problems.NewLinearOp(op, 4000, 12, 0.85, 7)
+		bounds := prob.PartitionBounds(8)
+		x := prob.InitialVector()
+		prob.Update(0, bounds, x) // warm-up builds the rank's scratch
+		if n := testing.AllocsPerRun(50, func() {
+			prob.Update(0, bounds, x)
+		}); n != 0 {
+			t.Errorf("%s fused gradient step allocates %.0f per call; want 0", op, n)
+		}
+	}
+}
+
+// The multi-tile deferred-write path of GradientStep (blocks larger than
+// one cache tile) must be allocation-free too — it is what paper-scale
+// blocks execute.
+func TestGradientStepTiledAllocs(t *testing.T) {
+	prob := problems.NewLinear(40000, 12, 0.85, 7)
+	bounds := prob.PartitionBounds(4) // 10000-row blocks: several tiles
+	x := prob.InitialVector()
+	prob.Update(0, bounds, x)
+	if n := testing.AllocsPerRun(20, func() {
+		prob.Update(0, bounds, x)
+	}); n != 0 {
+		t.Errorf("tiled gradient step allocates %.0f per call; want 0", n)
+	}
+}
+
+func TestGMRESInnerSolveAllocs(t *testing.T) {
+	prob := problems.NewLinearGMRES(4000, 12, 0.85, 7)
+	bounds := prob.PartitionBounds(8)
+	x := prob.InitialVector()
+	prob.Update(0, bounds, x) // warm-up builds scratch and the Krylov workspace
+	if n := testing.AllocsPerRun(10, func() {
+		prob.Update(0, bounds, x)
+	}); n != 0 {
+		t.Errorf("block-GMRES update allocates %.0f per call; want 0", n)
+	}
+}
+
+// SolveWith on a reused workspace is allocation-free even across restarts
+// (the Krylov basis is the big per-solve cost Solve used to pay).
+func TestGMRESSolveWithAllocs(t *testing.T) {
+	a, b, _ := sparse.NewSystem(600, 8, 0.9, 3)
+	apply := func(dst, v []float64) { a.MulVec(dst, v) }
+	x := make([]float64, 600)
+	var ws gmres.Workspace
+	p := gmres.Params{Tol: 1e-10, Restart: 10, MaxIters: 600}
+	if _, err := gmres.SolveWith(&ws, apply, b, x, p, 0); err != nil {
+		t.Fatalf("warm-up solve: %v", err)
+	}
+	if n := testing.AllocsPerRun(5, func() {
+		for i := range x {
+			x[i] = 0
+		}
+		if _, err := gmres.SolveWith(&ws, apply, b, x, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("SolveWith allocates %.0f per solve; want 0", n)
+	}
+}

@@ -32,7 +32,7 @@ func BenchmarkRowRangeMulVec(b *testing.B) {
 	prob, bounds, x := benchSystem(b)
 	lo, hi := bounds[0], bounds[1]
 	dst := make([]float64, hi-lo)
-	b.SetBytes(int64(8 * (hi - lo) * len(prob.A.Offsets)))
+	b.SetBytes(int64(8 * (hi - lo) * len(prob.A.BandOffsets())))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		prob.A.RowRangeMulVec(lo, hi, dst, x)

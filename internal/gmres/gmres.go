@@ -52,11 +52,52 @@ type Result struct {
 // tolerance. The best iterate so far is still written to x.
 var ErrStagnated = errors.New("gmres: iteration cap reached before convergence")
 
+// Workspace holds the Krylov basis and Hessenberg storage of a solve so a
+// caller performing many solves of the same shape (every outer iteration
+// of the block-multisplitting problems) can reuse it and keep the inner
+// solver allocation-free. The zero value is ready: SolveWith sizes it on
+// first use and resizes it whenever n or the restart dimension grows.
+type Workspace struct {
+	v  [][]float64 // m+1 Krylov basis vectors of length n
+	h  [][]float64 // (m+1)×m Hessenberg columns
+	cs []float64   // Givens cosines
+	sn []float64   // Givens sines
+	g  []float64   // rotated residual norms
+	y  []float64   // triangular-solve solution
+	w  []float64   // operator output / orthogonalization scratch
+}
+
+// ensure sizes the workspace for an n-dimensional solve with restart m.
+func (ws *Workspace) ensure(n, m int) {
+	if len(ws.v) < m+1 || len(ws.w) < n {
+		ws.v = make([][]float64, m+1)
+		for i := range ws.v {
+			ws.v[i] = make([]float64, n)
+		}
+		ws.h = make([][]float64, m+1)
+		for i := range ws.h {
+			ws.h[i] = make([]float64, m)
+		}
+		ws.cs = make([]float64, m)
+		ws.sn = make([]float64, m)
+		ws.g = make([]float64, m+1)
+		ws.y = make([]float64, m)
+		ws.w = make([]float64, n)
+	}
+}
+
 // Solve finds x such that A·x ≈ b, starting from the initial guess in x and
 // overwriting it with the solution. opFlops is the flop cost the caller
 // attributes to one operator application (added to the returned count per
-// iteration).
+// iteration). It allocates fresh Krylov storage per call; hot paths use
+// SolveWith.
 func Solve(apply Operator, b, x []float64, p Params, opFlops float64) (Result, error) {
+	return SolveWith(new(Workspace), apply, b, x, p, opFlops)
+}
+
+// SolveWith is Solve reusing ws for all temporary storage. After the first
+// call of a given shape, subsequent calls allocate nothing.
+func SolveWith(ws *Workspace, apply Operator, b, x []float64, p Params, opFlops float64) (Result, error) {
 	n := len(b)
 	if len(x) != n {
 		panic("gmres: dimension mismatch")
@@ -73,20 +114,21 @@ func Solve(apply Operator, b, x []float64, p Params, opFlops float64) (Result, e
 	}
 
 	m := p.Restart
-	// Krylov basis and Hessenberg storage, reused across restarts.
-	v := make([][]float64, m+1)
+	ws.ensure(n, m)
+	// Krylov basis and Hessenberg storage, reused across restarts. The
+	// workspace may be larger than this solve needs (a shared workspace
+	// serves the largest shape seen); every loop below is bounded by n and
+	// m, not the storage lengths, so excess capacity is inert.
+	v := ws.v
+	h := ws.h
+	cs := ws.cs
+	sn := ws.sn
+	g := ws.g[:m+1]
+	y := ws.y
+	w := ws.w[:n]
 	for i := range v {
-		v[i] = make([]float64, n)
+		v[i] = v[i][:n] // n ≤ cap: ensure allocated for the largest n seen
 	}
-	h := make([][]float64, m+1)
-	for i := range h {
-		h[i] = make([]float64, m)
-	}
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
-	y := make([]float64, m)
-	w := make([]float64, n)
 
 	for res.Iterations < p.MaxIters {
 		// r0 = b - A*x

@@ -193,6 +193,12 @@ type LinearParams struct {
 	Eps      float64 // convergence threshold (Equ. 5)
 	MaxIters int     // per-processor iteration cap
 	Seed     int64   // matrix generator seed; repetition r uses Seed+r
+	// Operator selects the matrix storage strategy: "" or "dia"
+	// materializes every band (sparse.DIA, the measured kernels of
+	// KERNELS.md); "stencil" iterates the implicit operator
+	// (sparse.Stencil) in O(bands) matrix memory — same parameter space,
+	// different matrix, for sizes where assembly no longer fits.
+	Operator string
 }
 
 // ChemParams tunes the non-linear chemical problem cells (§4.2, Table 1).
@@ -351,8 +357,12 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Backends) == 0 {
 		s.Backends = []string{"sim"}
 	}
-	if s.Linear == (LinearParams{}) {
+	// The operator axis rides along: a spec that only picked an operator
+	// still gets the default linear parameters.
+	if s.Linear == (LinearParams{Operator: s.Linear.Operator}) {
+		op := s.Linear.Operator
 		s.Linear = d.Linear
+		s.Linear.Operator = op
 	}
 	if s.Chem == (ChemParams{}) {
 		s.Chem = d.Chem
@@ -416,6 +426,21 @@ func ParseBackends(csv string) ([]string, error) {
 		return []string{"sim"}, nil
 	}
 	return parseAxis("backend", csv, BackendNames)
+}
+
+// ParseOperator validates a linear-operator selection ("dia" or
+// "stencil"; "" = dia). It is a single value, not a filter axis: the
+// operator changes which matrix the linear cells iterate, so a sweep
+// holds it fixed and comparisons across operators are separate sweeps.
+func ParseOperator(s string) (string, error) {
+	switch strings.TrimSpace(s) {
+	case "", "dia":
+		return "dia", nil
+	case "stencil":
+		return "stencil", nil
+	default:
+		return "", fmt.Errorf("bad operator %q: want dia or stencil", s)
+	}
 }
 
 // ParseModes parses a mode filter ("async,sync"; "" = both, baseline

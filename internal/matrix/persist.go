@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"aiac/internal/problems"
 	"aiac/internal/protocol"
 	"aiac/internal/report"
 )
@@ -28,6 +29,13 @@ func cellCacheKey(c Cell, spec Spec, reps int, seed int64, timeout time.Duration
 		lp := spec.Linear
 		prob = fmt.Sprintf("diags=%d,rho=%g,eps=%g,maxiters=%d,matseed=%d",
 			lp.Diags, lp.Rho, lp.Eps, lp.MaxIters, lp.Seed)
+		// The default (materialized dia) operator is deliberately not part
+		// of the address, so sidecars written before the operator axis
+		// existed keep resuming bit-identically; a non-default operator
+		// iterates a different matrix and must re-execute.
+		if op := problems.NormalizeOperator(lp.Operator); op != "dia" {
+			prob += ",op=" + op
+		}
 	case "newton":
 		np := spec.Newton
 		prob = fmt.Sprintf("c=%g,eps=%g,maxiters=%d,matseed=%d",

@@ -595,11 +595,11 @@ func runOnce(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr *
 	switch c.Problem {
 	case "linear":
 		lp := spec.Linear
-		prob := cache.Linear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		prob := cache.LinearOp(lp.Operator, c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
 		linearLike(prob, prob.XTrue, lp.Eps, lp.MaxIters)
 	case "gmres":
 		lp := spec.Linear
-		prob := cache.LinearGMRES(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		prob := cache.LinearGMRESOp(lp.Operator, c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
 		linearLike(prob, prob.XTrue, lp.Eps, lp.MaxIters)
 	case "newton":
 		np := spec.Newton
@@ -743,7 +743,7 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr
 	switch c.Problem {
 	case "linear":
 		lp := spec.Linear
-		prob := cache.Linear(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		prob := cache.LinearOp(lp.Operator, c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
 		rpt, err := solve(prob, lp.Eps, lp.MaxIters)
 		if err != nil {
 			return measurement{}, err
@@ -751,7 +751,7 @@ func runNative(c Cell, spec Spec, rep int, seed int64, timeout time.Duration, tr
 		fold(&m, rpt, prob.XTrue)
 	case "gmres":
 		lp := spec.Linear
-		prob := cache.LinearGMRES(c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
+		prob := cache.LinearGMRESOp(lp.Operator, c.Size, lp.Diags, lp.Rho, lp.Seed+int64(rep))
 		rpt, err := solve(prob, lp.Eps, lp.MaxIters)
 		if err != nil {
 			return measurement{}, err

@@ -48,6 +48,7 @@ type StripSolver struct {
 	delta []float64 // local Newton step
 	vfull []float64 // full-length embedding for ApplyJ
 	jout  []float64 // full-length Jacobian output
+	ws    gmres.Workspace
 }
 
 // NewStripSolver returns a solver for indices [lo,hi) of sys.
@@ -96,7 +97,7 @@ func (s *StripSolver) Iterate(y []float64) (residual, flops float64, err error) 
 			s.vfull[lo+i] = 0
 		}
 	}
-	res, gerr := gmres.Solve(op, s.g, s.delta, s.Gmres, s.Sys.JFlops(lo, hi))
+	res, gerr := gmres.SolveWith(&s.ws, op, s.g, s.delta, s.Gmres, s.Sys.JFlops(lo, hi))
 	flops += res.Flops
 	if gerr != nil {
 		return 0, flops, fmt.Errorf("newton: inner solve on [%d,%d): %w", lo, hi, gerr)

@@ -63,11 +63,13 @@ func NewCache() *Cache {
 	}
 }
 
-// linearKey identifies one generated sparse system: the full parameter set
-// of sparse.NewSystem, so entries can never alias across sizes, band
-// counts, dominance ratios, or seeds (and therefore never across
-// repetitions, which perturb the seed).
+// linearKey identifies one generated sparse system: the operator kind
+// plus the full parameter set of sparse.NewSystem / NewStencilSystem, so
+// entries can never alias across storage strategies, sizes, band counts,
+// dominance ratios, or seeds (and therefore never across repetitions,
+// which perturb the seed).
 type linearKey struct {
+	op       string // normalized operator kind: "dia" or "stencil"
 	n, diags int
 	rho      float64
 	seed     int64
@@ -75,7 +77,7 @@ type linearKey struct {
 
 type linearEntry struct {
 	once  sync.Once
-	a     *sparse.DIA
+	a     sparse.Operator
 	b     []float64
 	xtrue []float64
 	sum   uint64
@@ -120,17 +122,44 @@ func (c *Cache) Stats() (hits, misses int) {
 // matrix.Run when the sweep finishes).
 const verifyOnHitLimit = 1 << 22
 
+// NormalizeOperator canonicalizes an operator-kind string: "" and "dia"
+// mean the materialized matrix, "stencil" the implicit operator. It
+// panics on anything else — operator kinds arrive from validated flag
+// parsing, so an unknown value is a programming error.
+func NormalizeOperator(op string) string {
+	switch op {
+	case "", "dia":
+		return "dia"
+	case "stencil":
+		return "stencil"
+	default:
+		panic(fmt.Sprintf("problems: unknown operator kind %q (want dia or stencil)", op))
+	}
+}
+
+// buildSystem assembles one test system with the requested operator
+// kind. Both kinds share the parameter space; the stencil materializes
+// only the two vectors.
+func buildSystem(op string, n, diags int, rho float64, seed int64) (sparse.Operator, []float64, []float64) {
+	if NormalizeOperator(op) == "stencil" {
+		return sparse.NewStencilSystem(n, diags, rho, seed)
+	}
+	return sparse.NewSystem(n, diags, rho, seed)
+}
+
 // sharedSystem returns the memoized (A, b, xTrue) for the key, building it
 // on first use. Retrieving a small entry re-verifies its checksum and
 // panics on a mismatch: a mutated shared system would corrupt every
 // concurrent cell reading it, so failing loudly at the cache boundary is
 // the only safe response. Entries above verifyOnHitLimit are checked by
-// Verify instead.
-func (c *Cache) sharedSystem(n, diags int, rho float64, seed int64) (*sparse.DIA, []float64, []float64) {
+// Verify instead. (An implicit operator stores no floats, so its entry
+// size is just the two vectors.)
+func (c *Cache) sharedSystem(op string, n, diags int, rho float64, seed int64) (sparse.Operator, []float64, []float64) {
+	op = NormalizeOperator(op)
 	if c == nil {
-		return sparse.NewSystem(n, diags, rho, seed)
+		return buildSystem(op, n, diags, rho, seed)
 	}
-	k := linearKey{n: n, diags: diags, rho: rho, seed: seed}
+	k := linearKey{op: op, n: n, diags: diags, rho: rho, seed: seed}
 	c.mu.Lock()
 	e := c.linear[k]
 	if e == nil {
@@ -142,16 +171,13 @@ func (c *Cache) sharedSystem(n, diags int, rho float64, seed int64) (*sparse.DIA
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		e.a, e.b, e.xtrue = sparse.NewSystem(n, diags, rho, seed)
-		e.elems = len(e.b) + len(e.xtrue)
-		for _, d := range e.a.Diags {
-			e.elems += len(d)
-		}
+		e.a, e.b, e.xtrue = buildSystem(op, n, diags, rho, seed)
+		e.elems = e.a.StoredFloats() + len(e.b) + len(e.xtrue)
 		e.sum = e.checksum()
 	})
 	if e.elems <= verifyOnHitLimit {
 		if got := e.checksum(); got != e.sum {
-			panic(fmt.Sprintf("problems: cached sparse system (n=%d diags=%d rho=%g seed=%d) was mutated: a solver wrote to shared read-only data", n, diags, rho, seed))
+			panic(fmt.Sprintf("problems: cached sparse system (op=%s n=%d diags=%d rho=%g seed=%d) was mutated: a solver wrote to shared read-only data", op, n, diags, rho, seed))
 		}
 	}
 	return e.a, e.b, e.xtrue
@@ -172,7 +198,7 @@ func (c *Cache) Verify() error {
 			continue // never built
 		}
 		if e.checksum() != e.sum {
-			return fmt.Errorf("problems: cached sparse system (n=%d diags=%d rho=%g seed=%d): %w", k.n, k.diags, k.rho, k.seed, ErrMutated)
+			return fmt.Errorf("problems: cached sparse system (op=%s n=%d diags=%d rho=%g seed=%d): %w", k.op, k.n, k.diags, k.rho, k.seed, ErrMutated)
 		}
 	}
 	for k, e := range c.react {
@@ -187,13 +213,7 @@ func (c *Cache) Verify() error {
 }
 
 func (e *linearEntry) checksum() uint64 {
-	sum := sumInit
-	for _, o := range e.a.Offsets {
-		sum = sumMix(sum, uint64(int64(o)))
-	}
-	for _, d := range e.a.Diags {
-		sum = sumFloats(sum, d)
-	}
+	sum := sumMix(sumInit, e.a.Fingerprint())
 	sum = sumFloats(sum, e.b)
 	sum = sumFloats(sum, e.xtrue)
 	return sum
@@ -233,7 +253,14 @@ func (c *Cache) sharedReaction(n int, cc float64, seed int64) (f, xtrue []float6
 // the matrix, right-hand side and true solution are shared read-only; the
 // returned struct (iteration state, scratch, weights) is fresh per call.
 func (c *Cache) Linear(n, numDiags int, rho float64, seed int64) *Linear {
-	a, b, xt := c.sharedSystem(n, numDiags, rho, seed)
+	return c.LinearOp("dia", n, numDiags, rho, seed)
+}
+
+// LinearOp is Linear with an explicit operator kind ("dia" or
+// "stencil"). Implicit and materialized systems are cached under
+// distinct keys: they iterate different matrices.
+func (c *Cache) LinearOp(op string, n, numDiags int, rho float64, seed int64) *Linear {
+	a, b, xt := c.sharedSystem(op, n, numDiags, rho, seed)
 	return &Linear{A: a, B: b, XTrue: xt, Gamma: 1.0}
 }
 
@@ -241,7 +268,12 @@ func (c *Cache) Linear(n, numDiags int, rho float64, seed int64) *Linear {
 // memoized test system (the same entry Linear shares: the two variants
 // iterate the identical matrix).
 func (c *Cache) LinearGMRES(n, numDiags int, rho float64, seed int64) *LinearGMRES {
-	a, b, xt := c.sharedSystem(n, numDiags, rho, seed)
+	return c.LinearGMRESOp("dia", n, numDiags, rho, seed)
+}
+
+// LinearGMRESOp is LinearGMRES with an explicit operator kind.
+func (c *Cache) LinearGMRESOp(op string, n, numDiags int, rho float64, seed int64) *LinearGMRES {
+	a, b, xt := c.sharedSystem(op, n, numDiags, rho, seed)
 	return &LinearGMRES{
 		A: a, B: b, XTrue: xt,
 		Gmres: defaultGMRESBlockParams,

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"aiac/internal/sparse"
 )
 
 // One cache entry per parameter set, shared by every retrieval — and by
@@ -71,13 +73,43 @@ func TestCacheNeverAliasesAcrossSeeds(t *testing.T) {
 	}
 }
 
+// Operator kinds are part of the cache key: a stencil cell and a dia
+// cell with identical parameters iterate different matrices and must
+// never share an entry — but two stencil retrievals must.
+func TestCacheKeysOperatorKind(t *testing.T) {
+	c := NewCache()
+	dia := c.LinearOp("dia", 500, 6, 0.8, 7)
+	st1 := c.LinearOp("stencil", 500, 6, 0.8, 7)
+	st2 := c.LinearOp("stencil", 500, 6, 0.8, 7)
+	if dia.A == st1.A {
+		t.Error("dia and stencil entries must be distinct")
+	}
+	if st1.A != st2.A {
+		t.Error("stencil retrievals with one key must share the entry")
+	}
+	if _, ok := st1.A.(*sparse.Stencil); !ok {
+		t.Errorf("stencil cell got %T", st1.A)
+	}
+	if _, ok := dia.A.(*sparse.DIA); !ok {
+		t.Errorf("dia cell got %T", dia.A)
+	}
+	// "" normalizes to dia and shares its entry.
+	if def := c.LinearOp("", 500, 6, 0.8, 7); def.A != dia.A {
+		t.Error(`operator "" must alias "dia"`)
+	}
+	g := c.LinearGMRESOp("stencil", 500, 6, 0.8, 7)
+	if g.A != st1.A {
+		t.Error("the GMRES stencil variant must share the linear stencil entry")
+	}
+}
+
 // Mutating a cached system must panic at the next retrieval: shared
 // assembly is read-only by contract, and silent corruption would poison
 // every concurrent cell.
 func TestCacheDetectsMutation(t *testing.T) {
 	c := NewCache()
 	l := c.Linear(500, 6, 0.8, 7)
-	l.A.Diags[0][3] += 1e-9
+	l.A.(*sparse.DIA).Diags[0][3] += 1e-9
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -112,11 +144,11 @@ func TestCacheVerify(t *testing.T) {
 	if err := c.Verify(); err != nil {
 		t.Fatalf("clean cache failed Verify: %v", err)
 	}
-	l.A.Diags[1][7] *= 2
+	l.A.(*sparse.DIA).Diags[1][7] *= 2
 	if err := c.Verify(); err == nil || !strings.Contains(err.Error(), "mutated") {
 		t.Fatalf("Verify missed a matrix mutation: %v", err)
 	}
-	l.A.Diags[1][7] /= 2
+	l.A.(*sparse.DIA).Diags[1][7] /= 2
 	if err := c.Verify(); err != nil {
 		t.Fatalf("restored cache failed Verify: %v", err)
 	}
@@ -138,7 +170,7 @@ func TestNilCacheBuildsFresh(t *testing.T) {
 	if l1.A == l2.A {
 		t.Error("nil cache must not share assembly")
 	}
-	if l1.B[3] != l2.B[3] || l1.A.Diags[0][3] != l2.A.Diags[0][3] {
+	if l1.B[3] != l2.B[3] || l1.A.DiagAt(3) != l2.A.DiagAt(3) {
 		t.Error("nil-cache builds must still be deterministic per seed")
 	}
 	if h, m := c.Stats(); h != 0 || m != 0 {

@@ -20,7 +20,7 @@ import (
 // big steps, so the persistence/freshness gates do proportionally more of
 // the work.
 type LinearGMRES struct {
-	A     *sparse.DIA
+	A     sparse.Operator
 	B     []float64
 	XTrue []float64 // known solution, for verification (not used in solving)
 	// Gmres tunes the inner block solves. The default tolerance is near
@@ -41,6 +41,7 @@ type gmresScratch struct {
 	embed  []float64 // full-length operator input, zero outside the block
 	rhs    []float64 // block-length right-hand side
 	u      []float64 // block-length inner iterate
+	ws     gmres.Workspace
 }
 
 // NewLinearGMRES generates the same test system as NewLinear (size, band
@@ -49,24 +50,30 @@ func NewLinearGMRES(n, numDiags int, rho float64, seed int64) *LinearGMRES {
 	return (*Cache)(nil).LinearGMRES(n, numDiags, rho, seed)
 }
 
+// NewLinearGMRESOp is NewLinearGMRES with an explicit operator kind
+// ("dia" or "stencil", see NewLinearOp).
+func NewLinearGMRESOp(op string, n, numDiags int, rho float64, seed int64) *LinearGMRES {
+	return (*Cache)(nil).LinearGMRESOp(op, n, numDiags, rho, seed)
+}
+
 // defaultGMRESBlockParams tunes the inner block solves (see the Gmres
 // field's comment for why the tolerance sits near machine precision).
 var defaultGMRESBlockParams = gmres.Params{Tol: 1e-12, Restart: 30, MaxIters: 2000}
 
 // Name implements aiac.Problem.
-func (l *LinearGMRES) Name() string { return fmt.Sprintf("linear-gmres-n%d", l.A.N) }
+func (l *LinearGMRES) Name() string { return fmt.Sprintf("linear-gmres-n%d", l.A.Dim()) }
 
 // Size implements aiac.Problem.
-func (l *LinearGMRES) Size() int { return l.A.N }
+func (l *LinearGMRES) Size() int { return l.A.Dim() }
 
 // PartitionBounds implements aiac.Problem.
 func (l *LinearGMRES) PartitionBounds(nranks int) []int {
 	l.scratch = make([]*gmresScratch, nranks)
-	return sparse.Partition(l.A.N, nranks)
+	return sparse.Partition(l.A.Dim(), nranks)
 }
 
 // InitialVector implements aiac.Problem: x⁰ = 0.
-func (l *LinearGMRES) InitialVector() []float64 { return make([]float64, l.A.N) }
+func (l *LinearGMRES) InitialVector() []float64 { return make([]float64, l.A.Dim()) }
 
 // DepsFor implements aiac.Problem: the columns the rank's rows touch,
 // minus its own block — identical to Linear, the dependency pattern is the
@@ -100,8 +107,8 @@ func (l *LinearGMRES) Update(rank int, bounds []int, x []float64) (residual, flo
 	sc := l.scratch[rank]
 	if sc == nil {
 		sc = &gmresScratch{
-			masked: make([]float64, l.A.N),
-			embed:  make([]float64, l.A.N),
+			masked: make([]float64, l.A.Dim()),
+			embed:  make([]float64, l.A.Dim()),
 			rhs:    make([]float64, m),
 			u:      make([]float64, m),
 		}
@@ -117,7 +124,7 @@ func (l *LinearGMRES) Update(rank int, bounds []int, x []float64) (residual, flo
 	for i := 0; i < m; i++ {
 		sc.rhs[i] = l.B[lo+i] - sc.rhs[i]
 	}
-	opFlops := 2 * float64(l.A.NNZ()) / float64(l.A.N) * float64(m)
+	opFlops := 2 * float64(l.A.NNZ()) / float64(l.A.Dim()) * float64(m)
 	flops = opFlops + 2*float64(m)
 
 	// Solve A_bb·u = rhs from the current block iterate. embed stays zero
@@ -127,7 +134,7 @@ func (l *LinearGMRES) Update(rank int, bounds []int, x []float64) (residual, flo
 		copy(sc.embed[lo:hi], v)
 		l.A.RowRangeMulVec(lo, hi, dst, sc.embed)
 	}
-	res, err := gmres.Solve(apply, sc.rhs, sc.u, l.Gmres, opFlops)
+	res, err := gmres.SolveWith(&sc.ws, apply, sc.rhs, sc.u, l.Gmres, opFlops)
 	flops += res.Flops
 	if err != nil {
 		return math.Inf(1), flops

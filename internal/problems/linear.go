@@ -28,7 +28,7 @@ import (
 // x ← x + γ·M⁻¹(b − A·x) (paper Equ. 4), distributed by contiguous row
 // blocks.
 type Linear struct {
-	A     *sparse.DIA
+	A     sparse.Operator
 	B     []float64
 	XTrue []float64 // known solution, for verification (not used in solving)
 	Gamma float64
@@ -47,17 +47,24 @@ func NewLinear(n, numDiags int, rho float64, seed int64) *Linear {
 	return (*Cache)(nil).Linear(n, numDiags, rho, seed)
 }
 
+// NewLinearOp is NewLinear with an explicit operator kind: "dia" (or "")
+// materializes the matrix, "stencil" iterates the implicit operator —
+// O(bands) matrix memory, for sizes where assembly no longer fits.
+func NewLinearOp(op string, n, numDiags int, rho float64, seed int64) *Linear {
+	return (*Cache)(nil).LinearOp(op, n, numDiags, rho, seed)
+}
+
 // Name implements aiac.Problem.
-func (l *Linear) Name() string { return fmt.Sprintf("sparse-linear-n%d", l.A.N) }
+func (l *Linear) Name() string { return fmt.Sprintf("sparse-linear-n%d", l.A.Dim()) }
 
 // Size implements aiac.Problem.
-func (l *Linear) Size() int { return l.A.N }
+func (l *Linear) Size() int { return l.A.Dim() }
 
 // PartitionBounds implements aiac.Problem.
 func (l *Linear) PartitionBounds(nranks int) []int {
 	l.scratch = make([][]float64, nranks)
 	if l.Weights == nil {
-		return sparse.Partition(l.A.N, nranks)
+		return sparse.Partition(l.A.Dim(), nranks)
 	}
 	if len(l.Weights) != nranks {
 		panic(fmt.Sprintf("problems: %d weights for %d ranks", len(l.Weights), nranks))
@@ -66,23 +73,23 @@ func (l *Linear) PartitionBounds(nranks int) []int {
 	var cum float64
 	for r := 1; r <= nranks; r++ {
 		cum += l.Weights[r-1]
-		bounds[r] = int(cum*float64(l.A.N) + 0.5)
+		bounds[r] = int(cum*float64(l.A.Dim()) + 0.5)
 	}
-	bounds[nranks] = l.A.N
+	bounds[nranks] = l.A.Dim()
 	// Every rank must own at least one row.
 	for r := 1; r <= nranks; r++ {
 		if bounds[r] <= bounds[r-1] {
 			bounds[r] = bounds[r-1] + 1
 		}
 	}
-	if bounds[nranks] != l.A.N {
+	if bounds[nranks] != l.A.Dim() {
 		panic("problems: weighted partition overflow (too many ranks for n)")
 	}
 	return bounds
 }
 
 // InitialVector implements aiac.Problem: x⁰ = 0.
-func (l *Linear) InitialVector() []float64 { return make([]float64, l.A.N) }
+func (l *Linear) InitialVector() []float64 { return make([]float64, l.A.Dim()) }
 
 // DepsFor implements aiac.Problem: the columns the rank's rows touch,
 // minus its own block.

@@ -1,0 +1,193 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aiac/internal/sparse"
+)
+
+// The measurement shape is the default sweep's linear cell: n=12000 with
+// 12 off-diagonals, partitioned over 8 ranks; kernels run on rank 0's
+// 1500-row block, exactly what internal/bench's micro-benchmarks time.
+const (
+	benchN     = 12000
+	benchDiags = 12
+	benchRho   = 0.85
+	benchSeed  = 20040426
+	benchRanks = 8
+)
+
+// Row is one line of the kernel table.
+type Row struct {
+	Name    string
+	Kind    string
+	Valid   bool
+	NsPerOp float64
+	GBps    float64 // band-data rate: 8 bytes × rows × bands per op
+	Speedup float64 // vs the same Kind's baseline variant
+	Note    string
+}
+
+// randSystem builds a random paper-style system plus a random iterate:
+// random size, band count, and seed, so offsets land anywhere in ±(n−1)
+// — including bands whose overlap with a row range is empty.
+func randSystem(rng *rand.Rand) (*sparse.DIA, []float64, []float64) {
+	n := 2 + rng.Intn(400)
+	nd := 1 + rng.Intn(40)
+	if nd >= n {
+		nd = n - 1
+	}
+	a, b, _ := sparse.NewSystem(n, nd, 0.85, rng.Int63())
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return a, b, x
+}
+
+// randRange picks a row range in [0,n], biased toward the edge cases:
+// empty (lo==hi), full, and one-row.
+func randRange(rng *rand.Rand, n int) (int, int) {
+	switch rng.Intn(5) {
+	case 0:
+		lo := rng.Intn(n + 1)
+		return lo, lo // empty
+	case 1:
+		return 0, n // full
+	case 2:
+		lo := rng.Intn(n)
+		return lo, lo + 1 // single row
+	default:
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+1-lo)
+		return lo, hi
+	}
+}
+
+func bitsEqual(a, b []float64) (int, bool) {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// Validate proves a variant bit-identical to its Kind's frozen baseline
+// on random shapes and row ranges. This is what the table's "valid"
+// column reports — computed at generation time, never assumed.
+func Validate(v Variant) bool {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 80; trial++ {
+		a, b, x := randSystem(rng)
+		lo, hi := randRange(rng, a.N)
+		if v.Kind == "matvec" {
+			want := make([]float64, hi-lo)
+			got := make([]float64, hi-lo)
+			MatVecBaseline(a, lo, hi, want, x)
+			for i := range got {
+				got[i] = math.NaN()
+			}
+			v.MatVec(a, lo, hi, got, x)
+			if _, ok := bitsEqual(want, got); !ok {
+				return false
+			}
+			continue
+		}
+		gamma := 0.1 + rng.Float64()
+		scratch := make([]float64, hi-lo)
+		wantX := append([]float64(nil), x...)
+		wantRes, wantFlops := StepBaseline(a, lo, hi, gamma, wantX, b, scratch)
+		gotX := append([]float64(nil), x...)
+		for i := range scratch {
+			scratch[i] = math.NaN()
+		}
+		res, flops := v.Step(a, lo, hi, gamma, gotX, b, scratch)
+		if _, ok := bitsEqual(wantX, gotX); !ok {
+			return false
+		}
+		if math.Float64bits(res) != math.Float64bits(wantRes) || flops != wantFlops {
+			return false
+		}
+	}
+	return true
+}
+
+// Measure validates and times every variant on the bench shape and
+// returns the finished table, speedups normalized against each Kind's
+// baseline (the first row of that Kind).
+func Measure() []Row {
+	a, b, _ := sparse.NewSystem(benchN, benchDiags, benchRho, benchSeed)
+	bounds := sparse.Partition(benchN, benchRanks)
+	lo, hi := bounds[0], bounds[1]
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, hi-lo)
+	scratch := make([]float64, hi-lo)
+	bytes := float64(8 * (hi - lo) * len(a.Offsets))
+
+	rows := make([]Row, 0, len(Variants()))
+	base := map[string]float64{}
+	for _, v := range Variants() {
+		row := Row{Name: v.Name, Kind: v.Kind, Note: v.Note, Valid: Validate(v)}
+		var r testing.BenchmarkResult
+		switch v.Kind {
+		case "matvec":
+			mv := v.MatVec
+			r = testing.Benchmark(func(tb *testing.B) {
+				for i := 0; i < tb.N; i++ {
+					mv(a, lo, hi, dst, x)
+				}
+			})
+		case "step":
+			st := v.Step
+			r = testing.Benchmark(func(tb *testing.B) {
+				for i := 0; i < tb.N; i++ {
+					st(a, lo, hi, 1.0, x, b, scratch)
+				}
+			})
+		}
+		row.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		row.GBps = bytes / row.NsPerOp
+		if _, ok := base[v.Kind]; !ok {
+			base[v.Kind] = row.NsPerOp
+		}
+		row.Speedup = base[v.Kind] / row.NsPerOp
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Markdown renders the table in the style of SNIPPETS.md snippet 3: one
+// row per variant, validity and speedup as first-class columns.
+func Markdown(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("| variant | valid | ns/op | GB/s | speedup | note |\n")
+	sb.WriteString("|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		valid := 0
+		if r.Valid {
+			valid = 1
+		}
+		fmt.Fprintf(&sb, "| %s | %d | %.0f | %.2f | %.3f | %s |\n",
+			r.Name, valid, r.NsPerOp, r.GBps, r.Speedup, r.Note)
+	}
+	return sb.String()
+}
+
+// Find returns the row with the given name, or nil.
+func Find(rows []Row, name string) *Row {
+	for i := range rows {
+		if rows[i].Name == name {
+			return &rows[i]
+		}
+	}
+	return nil
+}

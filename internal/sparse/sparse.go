@@ -135,17 +135,7 @@ func spreadOffsets(n, numDiags int, rng *rand.Rand) []int {
 }
 
 // NNZ returns the number of stored non-zero positions.
-func (a *DIA) NNZ() int {
-	nnz := 0
-	for k, o := range a.Offsets {
-		_ = k
-		l := a.N - abs(o)
-		if l > 0 {
-			nnz += l
-		}
-	}
-	return nnz
-}
+func (a *DIA) NNZ() int { return bandNNZ(a.N, a.Offsets) }
 
 func abs(x int) int {
 	if x < 0 {
@@ -159,25 +149,19 @@ func (a *DIA) MulVec(dst, x []float64) {
 	if len(dst) != a.N || len(x) != a.N {
 		panic("sparse: dimension mismatch in MulVec")
 	}
-	for i := range dst {
-		dst[i] = 0
-	}
-	for k, o := range a.Offsets {
-		d := a.Diags[k]
-		lo, hi := 0, a.N
-		if o > 0 {
-			hi = a.N - o
-		} else {
-			lo = -o
-		}
-		for i := lo; i < hi; i++ {
-			dst[i] += d[i] * x[i+o]
-		}
-	}
+	a.RowRangeMulVec(0, a.N, dst, x)
 }
 
 // RowRangeMulVec computes dst[i-lo] = (A*x)_i for i in [lo,hi), reading x
 // at the columns the band touches. Flops: ~2 * nnz(rows lo..hi).
+//
+// This is the matvec-unroll4 kernel of internal/sparse/kernels (see
+// KERNELS.md for the measured table): the main diagonal initializes dst
+// (no zero-fill pass), every accumulation loop is re-sliced to one
+// shared length so the compiler drops its bounds checks, and the loop is
+// unrolled 4-wide. Per-element contributions stay in ascending-diagonal
+// order, so the result is bit-identical to the naive k-outer reference —
+// the kernels package property-tests exactly that.
 func (a *DIA) RowRangeMulVec(lo, hi int, dst, x []float64) {
 	if lo < 0 || hi > a.N || lo > hi {
 		panic("sparse: bad row range")
@@ -185,11 +169,15 @@ func (a *DIA) RowRangeMulVec(lo, hi int, dst, x []float64) {
 	if len(dst) < hi-lo || len(x) != a.N {
 		panic("sparse: dimension mismatch in RowRangeMulVec")
 	}
-	for i := range dst[:hi-lo] {
-		dst[i] = 0
+	m := hi - lo
+	out := dst[:m]
+	d0 := a.Diags[0][lo:][:m]
+	xv := x[lo:][:m]
+	for j := 0; j < len(out); j++ {
+		out[j] = d0[j] * xv[j]
 	}
-	for k, o := range a.Offsets {
-		d := a.Diags[k]
+	for k := 1; k < len(a.Offsets); k++ {
+		o := a.Offsets[k]
 		rlo, rhi := lo, hi
 		if o > 0 && rhi > a.N-o {
 			rhi = a.N - o
@@ -197,11 +185,30 @@ func (a *DIA) RowRangeMulVec(lo, hi int, dst, x []float64) {
 		if o < 0 && rlo < -o {
 			rlo = -o
 		}
-		for i := rlo; i < rhi; i++ {
-			dst[i-lo] += d[i] * x[i+o]
+		if rhi <= rlo {
+			continue
+		}
+		bm := rhi - rlo
+		ds := a.Diags[k][rlo:][:bm]
+		xs := x[rlo+o:][:bm]
+		acc := dst[rlo-lo:][:bm]
+		j := 0
+		for ; j+3 < len(acc); j += 4 {
+			acc[j] += ds[j] * xs[j]
+			acc[j+1] += ds[j+1] * xs[j+1]
+			acc[j+2] += ds[j+2] * xs[j+2]
+			acc[j+3] += ds[j+3] * xs[j+3]
+		}
+		for ; j < len(acc); j++ {
+			acc[j] += ds[j] * xs[j]
 		}
 	}
 }
+
+// gradientTileRows is the row-tile granule of the fused GradientStep:
+// 2048 rows of accumulated A*x are 16KB, small enough that the fused
+// update revisits them while still L1-resident.
+const gradientTileRows = 2048
 
 // GradientStep performs one fixed-step gradient-descent update (Equ. 4 of
 // the paper) on rows [lo,hi):
@@ -212,19 +219,52 @@ func (a *DIA) RowRangeMulVec(lo, hi int, dst, x []float64) {
 // semantics: stale ghost data is used as-is). It writes the new values into
 // x[lo:hi), returns the max-norm of the change (the local residual of
 // Equ. 6) and the flop count. scratch must have at least hi-lo capacity.
+//
+// This is the step-fused kernel of internal/sparse/kernels (measured
+// table in KERNELS.md), bit-identical to the two-pass reference. Blocks
+// that fit one tile — every default-sweep rank block does — accumulate
+// A*x with RowRangeMulVec and then update x in place (the accumulate has
+// already consumed the old iterate). Larger blocks fuse the
+// update+residual traversal into each L1-hot tile, deferring the writes
+// into scratch — a band may make any later row read x inside [lo,hi), so
+// no x[i] is overwritten until every tile has accumulated — and publish
+// the new values with one copy at the end.
 func (a *DIA) GradientStep(lo, hi int, gamma float64, x, b, scratch []float64) (residual, flops float64) {
-	ax := scratch[:hi-lo]
-	a.RowRangeMulVec(lo, hi, ax, x)
 	var maxd float64
-	for i := lo; i < hi; i++ {
-		nv := x[i] + gamma*(b[i]-ax[i-lo])/a.Diags[0][i]
-		if d := math.Abs(nv - x[i]); d > maxd {
-			maxd = d
-		}
-		x[i] = nv
-	}
 	rows := float64(hi - lo)
 	flops = 2*float64(a.rowNNZ())*rows + 5*rows
+	if hi-lo <= gradientTileRows {
+		ax := scratch[:hi-lo]
+		a.RowRangeMulVec(lo, hi, ax, x)
+		for i := lo; i < hi; i++ {
+			nv := x[i] + gamma*(b[i]-ax[i-lo])/a.Diags[0][i]
+			if d := math.Abs(nv - x[i]); d > maxd {
+				maxd = d
+			}
+			x[i] = nv
+		}
+		return maxd, flops
+	}
+	for tlo := lo; tlo < hi; tlo += gradientTileRows {
+		thi := tlo + gradientTileRows
+		if thi > hi {
+			thi = hi
+		}
+		a.RowRangeMulVec(tlo, thi, scratch[tlo-lo:], x)
+		m := thi - tlo
+		nv := scratch[tlo-lo:][:m]
+		ds := a.Diags[0][tlo:][:m]
+		xs := x[tlo:][:m]
+		bs := b[tlo:][:m]
+		for j := 0; j < len(nv); j++ {
+			v := xs[j] + gamma*(bs[j]-nv[j])/ds[j]
+			if d := math.Abs(v - xs[j]); d > maxd {
+				maxd = d
+			}
+			nv[j] = v
+		}
+	}
+	copy(x[lo:hi], scratch[:hi-lo])
 	return maxd, flops
 }
 
@@ -243,20 +283,7 @@ func (s Segment) Len() int { return s.Hi - s.Lo }
 // dependency lists of §4.3 ("each processor needs to construct the list of
 // its data dependencies from other processors").
 func (a *DIA) ColumnsTouched(lo, hi int) []Segment {
-	var segs []Segment
-	for _, o := range a.Offsets {
-		clo, chi := lo+o, hi+o
-		if clo < 0 {
-			clo = 0
-		}
-		if chi > a.N {
-			chi = a.N
-		}
-		if clo < chi {
-			segs = append(segs, Segment{clo, chi})
-		}
-	}
-	return MergeSegments(segs)
+	return columnsTouched(a.N, a.Offsets, lo, hi)
 }
 
 // MergeSegments sorts and merges overlapping/adjacent segments.

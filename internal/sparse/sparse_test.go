@@ -202,6 +202,48 @@ func TestNNZPositive(t *testing.T) {
 	}
 }
 
+// NNZ must equal the stored-entry count of the materialized matrix — in
+// particular on the extreme offsets ±(n−1), where each band clips to a
+// single stored element, and on generated systems, where Dense() is the
+// independent witness.
+func TestNNZMatchesDense(t *testing.T) {
+	countDense := func(a *DIA) int {
+		nnz := 0
+		for _, row := range a.Dense() {
+			for _, v := range row {
+				if v != 0 {
+					nnz++
+				}
+			}
+		}
+		return nnz
+	}
+	for _, n := range []int{2, 3, 17} {
+		a := &DIA{
+			N:       n,
+			Offsets: []int{0, n - 1, -(n - 1)},
+			Diags:   make([][]float64, 3),
+		}
+		for k := range a.Diags {
+			a.Diags[k] = make([]float64, n)
+			for i := range a.Diags[k] {
+				a.Diags[k][i] = float64(10*k + i + 1) // never zero
+			}
+		}
+		// Each extreme band stores exactly one in-range element.
+		if want := n + 2; a.NNZ() != want || a.NNZ() != countDense(a) {
+			t.Errorf("n=%d edge offsets: NNZ=%d, dense=%d, want %d",
+				n, a.NNZ(), countDense(a), want)
+		}
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		a, _, _ := NewSystem(60+int(seed)*17, 6+int(seed), 0.9, seed)
+		if a.NNZ() != countDense(a) {
+			t.Errorf("seed %d: NNZ=%d, dense count=%d", seed, a.NNZ(), countDense(a))
+		}
+	}
+}
+
 func TestBadArgsPanic(t *testing.T) {
 	cases := []func(){
 		func() { NewSystem(1, 1, 0.9, 0) },

@@ -1,0 +1,135 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStencilMatchesMaterializedDIA is the implicit-operator identity
+// property: on random shapes, every Operator method of a Stencil must
+// agree with the DIA built by Materialize from the same (seed, offsets)
+// — the kernels bit-for-bit, the metadata exactly.
+func TestStencilMatchesMaterializedDIA(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(300)
+		nd := 1 + rng.Intn(30)
+		if nd >= n {
+			nd = n - 1
+		}
+		seed := rng.Int63()
+		s := NewStencil(n, nd, 0.85, seed)
+		a := s.Materialize()
+
+		if s.Dim() != a.Dim() || s.NNZ() != a.NNZ() {
+			t.Fatalf("n=%d nd=%d seed=%d: dim/nnz mismatch", n, nd, seed)
+		}
+		for k, o := range a.Offsets {
+			if s.BandOffsets()[k] != o {
+				t.Fatalf("n=%d nd=%d seed=%d: offsets diverge at %d", n, nd, seed, k)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if math.Float64bits(s.DiagAt(i)) != math.Float64bits(a.DiagAt(i)) {
+				t.Fatalf("n=%d nd=%d seed=%d: DiagAt(%d) %v != %v", n, nd, seed, i, s.DiagAt(i), a.DiagAt(i))
+			}
+		}
+
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+1-lo)
+
+		sd := make([]float64, hi-lo)
+		ad := make([]float64, hi-lo)
+		s.RowRangeMulVec(lo, hi, sd, x)
+		a.RowRangeMulVec(lo, hi, ad, x)
+		for i := range sd {
+			if math.Float64bits(sd[i]) != math.Float64bits(ad[i]) {
+				t.Fatalf("n=%d nd=%d seed=%d rows=[%d,%d): matvec element %d: %v != %v",
+					n, nd, seed, lo, hi, i, sd[i], ad[i])
+			}
+		}
+
+		b := make([]float64, n)
+		a.MulVec(b, x)
+		scratch := make([]float64, hi-lo)
+		sx := append([]float64(nil), x...)
+		ax := append([]float64(nil), x...)
+		sres, sflops := s.GradientStep(lo, hi, 0.9, sx, b, scratch)
+		ares, aflops := a.GradientStep(lo, hi, 0.9, ax, b, scratch)
+		for i := range sx {
+			if math.Float64bits(sx[i]) != math.Float64bits(ax[i]) {
+				t.Fatalf("n=%d nd=%d seed=%d rows=[%d,%d): step x[%d]: %v != %v",
+					n, nd, seed, lo, hi, i, sx[i], ax[i])
+			}
+		}
+		if math.Float64bits(sres) != math.Float64bits(ares) || sflops != aflops {
+			t.Fatalf("n=%d nd=%d seed=%d: step residual/flops (%v,%v) != (%v,%v)",
+				n, nd, seed, sres, sflops, ares, aflops)
+		}
+
+		segsS := s.ColumnsTouched(lo, hi)
+		segsA := a.ColumnsTouched(lo, hi)
+		if len(segsS) != len(segsA) {
+			t.Fatalf("n=%d nd=%d seed=%d: ColumnsTouched lengths differ", n, nd, seed)
+		}
+		for i := range segsS {
+			if segsS[i] != segsA[i] {
+				t.Fatalf("n=%d nd=%d seed=%d: ColumnsTouched[%d] %v != %v",
+					n, nd, seed, i, segsS[i], segsA[i])
+			}
+		}
+	}
+}
+
+// TestStencilSystemConverges drives the full relaxation on a stencil
+// system to the known solution: the dominance construction must make
+// the implicit iteration contract exactly like the materialized one.
+func TestStencilSystemConverges(t *testing.T) {
+	s, b, xtrue := NewStencilSystem(800, 11, 0.8, 7)
+	x := make([]float64, s.Dim())
+	scratch := make([]float64, s.Dim())
+	for it := 0; it < 800; it++ {
+		res, _ := s.GradientStep(0, s.Dim(), 1.0, x, b, scratch)
+		if res < 1e-13 {
+			break
+		}
+	}
+	for i := range x {
+		if math.Abs(x[i]-xtrue[i]) > 1e-8 {
+			t.Fatalf("x[%d]=%v want %v", i, x[i], xtrue[i])
+		}
+	}
+}
+
+// TestStencilDeterministic: same parameters, same operator — including
+// the fingerprint; different seeds diverge.
+func TestStencilDeterministic(t *testing.T) {
+	s1 := NewStencil(500, 9, 0.85, 123)
+	s2 := NewStencil(500, 9, 0.85, 123)
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatal("same parameters produced different fingerprints")
+	}
+	if s1.val(1, 42) != s2.val(1, 42) {
+		t.Fatal("same parameters produced different entries")
+	}
+	s3 := NewStencil(500, 9, 0.85, 124)
+	if s1.Fingerprint() == s3.Fingerprint() {
+		t.Fatal("different seeds produced equal fingerprints")
+	}
+}
+
+// TestStencilSpectralBound: the implicit matrix inherits NewSystem's
+// dominance guarantee — the Jacobi bound of the materialized matrix is
+// rho up to rounding.
+func TestStencilSpectralBound(t *testing.T) {
+	s := NewStencil(400, 8, 0.7, 99)
+	got := s.Materialize().JacobiSpectralBound()
+	if math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("spectral bound %v, want ~0.7", got)
+	}
+}
