@@ -195,12 +195,8 @@ func (e *run) recoverRank(p *des.Proc, r int) {
 	e.restarts++
 	e.cfg.Residuals.MarkRestart(r, p.Now().Seconds())
 	copy(e.xs[r], e.x0)
-	for k := range e.heard[r] {
-		delete(e.heard[r], k)
-	}
-	for k := range e.lastArrival[r] {
-		delete(e.lastArrival[r], k)
-	}
+	clear(e.heard[r])
+	clear(e.lastArrival[r])
 	e.maxGap[r] = 0
 	e.dirty[r] = true
 }
@@ -349,6 +345,7 @@ func (e *run) allChannelsFreshSince(r int, t des.Time) bool {
 	if len(la) < e.plan.RecvCount[r] {
 		return false
 	}
+	//lint:unordered — pure universally-quantified check; the result does not depend on visit order.
 	for _, at := range la {
 		if at <= t {
 			return false

@@ -758,6 +758,7 @@ func (s *solver) allFresherThan(r int, t protocol.Time) bool {
 	if len(s.lastArrival[r]) < s.plan.RecvCount[r] {
 		return false
 	}
+	//lint:unordered — pure universally-quantified check, no effects; the answer is order-independent
 	for _, at := range s.lastArrival[r] {
 		if at <= t {
 			return false

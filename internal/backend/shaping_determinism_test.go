@@ -1,0 +1,55 @@
+package backend
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The shaping matrices feed the -resume content address and the
+// native/simulated calibration table, so two constructions of the same
+// (grid, scenario, n, seed) cell must be byte-for-byte identical — no
+// map-iteration order, no shared mutable state, no hidden randomness may
+// leak into them. This pins that property for every native grid ×
+// scenario combination (aiaclint's maprange analyzer enforces the same
+// invariant statically).
+func TestShapingMatricesAreDeterministic(t *testing.T) {
+	for _, grid := range GridNames {
+		for _, scen := range NativeScenarioNames {
+			for _, seed := range []int64{0, 7, DefaultLossSeed} {
+				a, err := ScenarioGridShaping(grid, scen, 12, seed)
+				if err != nil {
+					t.Fatalf("ScenarioGridShaping(%q, %q, 12, %d): %v", grid, scen, seed, err)
+				}
+				b, err := ScenarioGridShaping(grid, scen, 12, seed)
+				if err != nil {
+					t.Fatalf("ScenarioGridShaping(%q, %q, 12, %d) (second): %v", grid, scen, seed, err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("grid %q scenario %q seed %d: two constructions differ", grid, scen, seed)
+				}
+			}
+		}
+	}
+}
+
+// GridShaping alone (no scenario layer) must be deterministic too, and
+// constructing a scenario matrix must not mutate package state that a
+// later plain-grid construction could observe.
+func TestGridShapingUnaffectedByScenarioConstruction(t *testing.T) {
+	for _, grid := range GridNames {
+		before, err := GridShaping(grid, 9)
+		if err != nil {
+			t.Fatalf("GridShaping(%q, 9): %v", grid, err)
+		}
+		if _, err := ScenarioGridShaping(grid, "lossy-wan", 9, 3); err != nil {
+			t.Fatalf("ScenarioGridShaping(%q): %v", grid, err)
+		}
+		after, err := GridShaping(grid, 9)
+		if err != nil {
+			t.Fatalf("GridShaping(%q, 9) (second): %v", grid, err)
+		}
+		if !reflect.DeepEqual(before, after) {
+			t.Errorf("grid %q: GridShaping changed after a scenario construction", grid)
+		}
+	}
+}

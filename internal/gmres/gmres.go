@@ -97,6 +97,8 @@ func Solve(apply Operator, b, x []float64, p Params, opFlops float64) (Result, e
 
 // SolveWith is Solve reusing ws for all temporary storage. After the first
 // call of a given shape, subsequent calls allocate nothing.
+//
+//lint:hotpath
 func SolveWith(ws *Workspace, apply Operator, b, x []float64, p Params, opFlops float64) (Result, error) {
 	n := len(b)
 	if len(x) != n {

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// addrstable: the -resume content address must cover every input.
+//
+// A sweep cell's result is reused by -resume when its content address
+// matches a prior sidecar row's. The address is only sound if it covers
+// *everything* that determines the measurement. The dangerous failure is
+// additive: someone grows matrix.LinearParams or protocol.Params by a
+// field, the new field changes results, the address builder was not
+// updated, and -resume silently serves stale rows that were computed
+// under different inputs. Dynamic tests cannot catch that — the test
+// author is the same person who forgot the field.
+//
+// This analyzer compares struct field sets against the address builder:
+// every field of each watched struct must be read (as a selector) inside
+// the address-builder function, or be explicitly listed in that file as
+//
+//	//lint:addrstable-exempt TypeName.Field — reason
+//
+// so the exemption and its justification live next to the address code
+// and show up in the diff that adds the field. Current exemptions are the
+// protocol constants that are themselves derived from already-addressed
+// problem parameters.
+type AddrstableConfig struct {
+	// Pkg is the package holding the address builder (internal/matrix).
+	Pkg string
+	// Func is the address builder's name (cellCacheKey).
+	Func string
+	// Structs are the watched structs, as "import/path.TypeName". Every
+	// field of each must be folded into the address or exempted.
+	Structs []string
+}
+
+// Addrstable returns the analyzer for one address-builder configuration.
+func Addrstable(cfg AddrstableConfig) *Analyzer {
+	return &Analyzer{
+		Name: "addrstable",
+		Doc:  "every field of the watched parameter structs must appear in the -resume content address builder or carry an //lint:addrstable-exempt entry",
+		Run: func(pass *Pass) error {
+			if pass.Pkg.Path() != cfg.Pkg {
+				return nil
+			}
+			fd := findFunc(pass, cfg.Func)
+			if fd == nil {
+				pass.Reportf(pass.Files[0].Pos(), "address builder %s not found in %s; addrstable has nothing to anchor to (rename the config along with the function)", cfg.Func, cfg.Pkg)
+				return nil
+			}
+			used := fieldsRead(pass, fd)
+			exempt := exemptions(pass)
+			for _, qualified := range cfg.Structs {
+				st, tname, err := lookupStruct(pass, qualified)
+				if err != nil {
+					pass.Reportf(fd.Pos(), "%v", err)
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					field := st.Field(i)
+					if used[field] {
+						continue
+					}
+					key := tname + "." + field.Name()
+					if exempt[key] {
+						continue
+					}
+					pass.Reportf(fd.Pos(), "field %s is not folded into the content address built by %s: a sweep resumed across a change to it would silently reuse stale rows; add it to the address or annotate %saddrstable-exempt %s with a reason", key, cfg.Func, AnnotationTag, key)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func findFunc(pass *Pass, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// fieldsRead collects every struct field selected anywhere in fd's body
+// (including transitively through same-package helpers fd calls, one
+// level deep — the builder may delegate per-problem formatting).
+func fieldsRead(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	used := map[types.Object]bool{}
+	seen := map[*ast.FuncDecl]bool{}
+	var walk func(*ast.FuncDecl)
+	walk = func(fn *ast.FuncDecl) {
+		if fn == nil || fn.Body == nil || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					used[sel.Obj()] = true
+				}
+			case *ast.CallExpr:
+				if callee := calleeOf(pass.Info, n); callee != nil && callee.Pkg() == pass.Pkg {
+					walk(findFunc(pass, callee.Name()))
+				}
+			}
+			return true
+		})
+	}
+	walk(fd)
+	return used
+}
+
+// exemptions parses every `//lint:addrstable-exempt TypeName.Field ...`
+// comment in the package.
+func exemptions(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	tag := AnnotationTag + "addrstable-exempt"
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), tag)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					out[fields[0]] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lookupStruct resolves "import/path.TypeName" to its struct type, in the
+// pass's own package or any of its direct imports.
+func lookupStruct(pass *Pass, qualified string) (*types.Struct, string, error) {
+	dot := strings.LastIndex(qualified, ".")
+	if dot < 0 {
+		return nil, "", fmt.Errorf("addrstable: %q is not import/path.TypeName", qualified)
+	}
+	pkgPath, name := qualified[:dot], qualified[dot+1:]
+	var scope *types.Scope
+	if pkgPath == pass.Pkg.Path() {
+		scope = pass.Pkg.Scope()
+	} else {
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Path() == pkgPath {
+				scope = imp.Scope()
+				break
+			}
+		}
+	}
+	if scope == nil {
+		return nil, "", fmt.Errorf("addrstable: watched package %s is not imported by %s", pkgPath, pass.Pkg.Path())
+	}
+	obj := scope.Lookup(name)
+	if obj == nil {
+		return nil, "", fmt.Errorf("addrstable: watched type %s not found (renamed? update the aiaclint config)", qualified)
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, "", fmt.Errorf("addrstable: %s is not a struct", qualified)
+	}
+	return st, name, nil
+}

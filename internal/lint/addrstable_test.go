@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aiac/internal/lint"
+	"aiac/internal/lint/linttest"
+)
+
+func TestAddrstableFlagsUnaddressedFields(t *testing.T) {
+	a := lint.Addrstable(lint.AddrstableConfig{
+		Pkg:     "fix/sweep",
+		Func:    "buildKey",
+		Structs: []string{"fix/sweep.Params", "fix/sweep.Tunables"},
+	})
+	linttest.Run(t, "testdata/src/addrstable", "fix/sweep", a)
+}
+
+func TestAddrstableAcceptsCompleteAddress(t *testing.T) {
+	a := lint.Addrstable(lint.AddrstableConfig{
+		Pkg:     "fix/sweepok",
+		Func:    "buildKey",
+		Structs: []string{"fix/sweepok.Params", "fix/sweepok.Tunables"},
+	})
+	linttest.Run(t, "testdata/src/addrstable_ok", "fix/sweepok", a)
+}
+
+func TestAddrstableAnchorsMustExist(t *testing.T) {
+	// A renamed address builder or watched struct must surface as a
+	// finding, not silently disable the check.
+	for _, cfg := range []lint.AddrstableConfig{
+		{Pkg: "fix/sweepok", Func: "renamedAway", Structs: []string{"fix/sweepok.Params"}},
+		{Pkg: "fix/sweepok", Func: "buildKey", Structs: []string{"fix/sweepok.Gone"}},
+	} {
+		pkg, err := linttest.LoadFixture("testdata/src/addrstable_ok", "fix/sweepok")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := lint.Run(lint.Addrstable(cfg), pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) == 0 {
+			t.Errorf("config %+v: missing anchor produced no finding", cfg)
+		}
+	}
+}

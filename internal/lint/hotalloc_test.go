@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aiac/internal/lint"
+	"aiac/internal/lint/linttest"
+)
+
+func TestHotallocFlagsAllocationsInAnnotatedFuncs(t *testing.T) {
+	// hotalloc is annotation-scoped, not path-scoped: any package works.
+	linttest.Run(t, "testdata/src/hotalloc", "fix/kernels", lint.Hotalloc())
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the package loader behind cmd/aiaclint and the fixture
+// runner: a minimal, module-aware substitute for go/packages built only on
+// the standard library. It parses each package's non-test files, resolves
+// module-internal imports by recursively loading them from source, and
+// delegates standard-library imports to the compiler's export data
+// (go/importer.Default). Test files are excluded on purpose — the
+// invariants the analyzers enforce are about production code; tests may
+// freely read wall clocks and allocate.
+
+// A Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path, e.g. "aiac/internal/des"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader loads and memoizes the packages of one module.
+type Loader struct {
+	Root   string // module root directory (holds go.mod)
+	Module string // module path from go.mod
+	Fset   *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package
+	load map[string]bool // import-cycle guard
+}
+
+// NewLoader locates the module containing dir and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		root = parent
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Root:   root,
+		Module: mod,
+		Fset:   token.NewFileSet(),
+		std:    importer.Default(),
+		pkgs:   map[string]*Package{},
+		load:   map[string]bool{},
+	}, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Expand resolves command-line patterns ("./...", "./internal/des", an
+// import path) to the module-internal import paths that contain Go files,
+// sorted for a deterministic run order.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "." || pat == "./" {
+			pat = ""
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimPrefix(pat, l.Module)
+		pat = strings.Trim(pat, "/")
+		dir := filepath.Join(l.Root, filepath.FromSlash(pat))
+		if !recursive {
+			if hasGoFiles(dir) {
+				add(l.pathOf(dir))
+			} else {
+				return nil, fmt.Errorf("lint: no Go files in %s", dir)
+			}
+			continue
+		}
+		err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(p)
+			if p != dir && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(l.pathOf(p))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) pathOf(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load returns the type-checked package at the given module-internal
+// import path, loading its module-internal dependencies recursively.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.load[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.load[path] = true
+	defer delete(l.load, path)
+
+	dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// importPkg resolves one import during type checking: module-internal
+// paths load recursively from source, everything else (the standard
+// library) comes from compiler export data.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

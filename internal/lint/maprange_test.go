@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aiac/internal/lint"
+	"aiac/internal/lint/linttest"
+)
+
+func TestMaprangeFlagsUnsortedMapIteration(t *testing.T) {
+	linttest.Run(t, "testdata/src/maprange", "fix/det/tables", lint.Maprange("fix/det"))
+}
+
+func TestMaprangeIgnoresUnscopedPackages(t *testing.T) {
+	// The same file under an uncovered path: the want comments must go
+	// unmatched, so run the raw analyzer and require zero diagnostics.
+	pkg, err := linttest.LoadFixture("testdata/src/maprange", "fix/other/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(lint.Maprange("fix/det"), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("maprange flagged an unscoped package: %v", diags)
+	}
+}

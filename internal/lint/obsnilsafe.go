@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obsnilsafe: telemetry handles stay nil-safe.
+//
+// The observability layer's contract (internal/obs) is that a nil
+// *Registry — telemetry disabled — propagates nil handles through every
+// constructor, and every operation on a nil handle is a cheap no-op. That
+// is what lets the engines call c.Inc() unconditionally on the hot path
+// with zero overhead when observability is off, and what the
+// "proven non-perturbing" differential runs rely on. The contract is easy
+// to break: add one method without the guard and the first disabled-
+// telemetry sweep panics — in production, not in the tests that all run
+// with telemetry on.
+//
+// The analyzer requires every exported pointer-receiver method on an
+// exported type in the configured packages to begin with a nil-receiver
+// guard:
+//
+//	if r == nil { return ... }
+//
+// Two shapes are accepted without their own guard:
+//
+//   - single-statement delegation to a method on the same receiver
+//     (func (c *Counter) Inc() { c.Add(1) }) — the callee guards;
+//   - methods annotated //lint:nilok on their declaration, for types that
+//     are documented never-nil (constructors that cannot fail).
+func Obsnilsafe(paths ...string) *Analyzer {
+	return &Analyzer{
+		Name: "obsnilsafe",
+		Doc:  "exported pointer-receiver methods on telemetry handle types must begin with a nil-receiver guard (or delegate to one that does)",
+		Run: func(pass *Pass) error {
+			if !pass.PathIn(paths) {
+				return nil
+			}
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+						continue
+					}
+					checkNilGuard(pass, fd)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func checkNilGuard(pass *Pass, fd *ast.FuncDecl) {
+	recv := fd.Recv.List[0]
+	// Only pointer receivers can be nil.
+	if _, ok := recv.Type.(*ast.StarExpr); !ok {
+		return
+	}
+	// Only exported types are part of the public nil-safety contract.
+	if !receiverTypeExported(pass, recv) {
+		return
+	}
+	if pass.FuncDoc(fd, "nilok") {
+		return
+	}
+	if len(recv.Names) == 0 {
+		// A method that never touches its receiver cannot nil-panic
+		// through it directly, but it breaks the uniform contract readers
+		// rely on; require the named-receiver guard form anyway.
+		pass.Reportf(fd.Pos(), "exported method %s has an unnamed pointer receiver and no nil guard; name the receiver and guard it (or annotate %snilok)", fd.Name.Name, AnnotationTag)
+		return
+	}
+	recvObj := pass.Info.Defs[recv.Names[0]]
+	if len(fd.Body.List) == 0 {
+		return // empty body is trivially nil-safe
+	}
+	if isNilGuard(pass, fd.Body.List[0], recvObj) {
+		return
+	}
+	if len(fd.Body.List) == 1 && delegatesToReceiver(pass, fd.Body.List[0], recvObj) {
+		return
+	}
+	pass.Reportf(fd.Pos(), "exported method %s on a telemetry handle does not start with a nil-receiver guard: a disabled-telemetry caller holding a nil handle will panic; add `if %s == nil { return ... }` or annotate %snilok", fd.Name.Name, recv.Names[0].Name, AnnotationTag)
+}
+
+func receiverTypeExported(pass *Pass, recv *ast.Field) bool {
+	base := recv.Type.(*ast.StarExpr).X
+	// Strip generic instantiation if present.
+	switch b := base.(type) {
+	case *ast.IndexExpr:
+		base = b.X
+	case *ast.IndexListExpr:
+		base = b.X
+	}
+	id, ok := base.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// isNilGuard matches `if recv == nil { return ... }` (any number of
+// return values, or a bare return/panic-free early out).
+func isNilGuard(pass *Pass, stmt ast.Stmt, recvObj types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.Info.Uses[id] == recvObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if !(isRecv(cond.X) && isNil(cond.Y)) && !(isNil(cond.X) && isRecv(cond.Y)) {
+		return false
+	}
+	for _, s := range ifs.Body.List {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// delegatesToReceiver matches a single statement whose only action is
+// calling a method on the receiver (expression statement, return, or
+// assignment from such a call).
+func delegatesToReceiver(pass *Pass, stmt ast.Stmt, recvObj types.Object) bool {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = s.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == recvObj
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aiac/internal/lint"
+	"aiac/internal/lint/linttest"
+)
+
+func TestObsnilsafeRequiresNilGuards(t *testing.T) {
+	linttest.Run(t, "testdata/src/obsnilsafe", "fix/obs", lint.Obsnilsafe("fix/obs"))
+}

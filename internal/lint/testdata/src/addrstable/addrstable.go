@@ -1,0 +1,32 @@
+// Package addrstable is the positive fixture for the addrstable
+// analyzer: buildKey folds most — but not all — watched fields into the
+// content address, and one absent field is exempted with a reason.
+package addrstable
+
+import "fmt"
+
+// Params mirrors a problem-parameter struct.
+type Params struct {
+	N       int
+	Seed    int64
+	Damping float64 // deliberately missing from buildKey below
+}
+
+// Tunables mirrors the protocol-constants struct.
+type Tunables struct {
+	Grace     int
+	Derived   float64 // exempted below
+	Forgotten int     // neither folded nor exempted
+}
+
+//lint:addrstable-exempt Tunables.Derived — resolved from Params.Seed, which is already in the address
+
+func buildKey(p Params, t Tunables) string { // want `field Params.Damping is not folded into the content address` `field Tunables.Forgotten is not folded into the content address`
+	return fmt.Sprintf("n=%d|%s|grace=%d", p.N, seedPart(p), t.Grace)
+}
+
+// seedPart exercises the one-level helper walk: fields read in a
+// same-package helper called from buildKey count as folded.
+func seedPart(p Params) string {
+	return fmt.Sprintf("seed=%d", p.Seed)
+}

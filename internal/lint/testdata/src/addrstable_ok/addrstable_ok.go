@@ -1,0 +1,22 @@
+// Package addrstableok is the negative fixture for the addrstable
+// analyzer: every watched field is either folded into the address or
+// exempted with a reason, so there is nothing to report.
+package addrstableok
+
+import "fmt"
+
+type Params struct {
+	N    int
+	Seed int64
+}
+
+type Tunables struct {
+	Grace   int
+	Derived float64
+}
+
+//lint:addrstable-exempt Tunables.Derived — resolved from Params.Seed, which is already in the address
+
+func buildKey(p Params, t Tunables) string {
+	return fmt.Sprintf("n=%d|seed=%d|grace=%d", p.N, p.Seed, t.Grace)
+}

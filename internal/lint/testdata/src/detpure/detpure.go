@@ -1,0 +1,75 @@
+// Package detpure is the positive fixture for the detpure analyzer: it is
+// loaded under a virtual-time package path, so every wall-clock touch,
+// global-rand draw, and scheduler primitive below must be flagged.
+package detpure
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()             // want `wall clock on the virtual-time path`
+	time.Sleep(time.Millisecond) // want `wall clock on the virtual-time path`
+	return time.Since(t0)        // want `wall clock on the virtual-time path`
+}
+
+func timers() {
+	_ = time.After(time.Second)    // want `wall clock on the virtual-time path`
+	_ = time.NewTimer(time.Second) // want `wall clock on the virtual-time path`
+}
+
+func clockValue(f func() time.Time) {}
+
+// Passing time.Now as a value is just as impure as calling it: the
+// analyzer checks uses, not only calls.
+func passesClock() {
+	clockValue(time.Now) // want `wall clock on the virtual-time path`
+}
+
+// An annotation on the preceding line is an acknowledged escape.
+func annotatedAbove() time.Time {
+	//lint:wallclock — watchdog guard deliberately reads host time
+	return time.Now()
+}
+
+func annotatedSameLine() time.Time {
+	return time.Now() //lint:wallclock
+}
+
+// Prose that merely *mentions* //lint:wallclock is not a directive.
+func mentionedInProse() time.Time {
+	// this line talks about //lint:wallclock but does not start with it
+	return time.Now() // want `wall clock on the virtual-time path`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand source`
+}
+
+// Owned, seeded streams are the blessed idiom.
+func ownedRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func spawns() {
+	go wallClock() // want `goroutine started on the virtual-time path`
+}
+
+func selects(ch chan int) int {
+	select { // want `select on the virtual-time path`
+	case v := <-ch:
+		return v
+	}
+}
+
+// Virtual time is denominated in time.Duration; pure arithmetic and
+// conversions on it are fine.
+func durationMath(d time.Duration) float64 {
+	return d.Seconds() + (3 * time.Millisecond).Seconds()
+}

@@ -1,0 +1,27 @@
+// Package offpath is the negative fixture for detpure: the same kinds of
+// wall-clock and scheduler use as the positive fixture, but the test
+// loads it under a package path *outside* the configured virtual-time
+// set, so none of it may be flagged (wall-clock drivers like the native
+// backend legitimately live off-path).
+package offpath
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}
+
+func globalRand() int { return rand.Intn(10) }
+
+func spawns(ch chan int) int {
+	go wallClock()
+	select {
+	case v := <-ch:
+		return v
+	}
+}

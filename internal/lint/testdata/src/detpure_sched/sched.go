@@ -1,0 +1,19 @@
+// Package sched is the SchedOK fixture for detpure: loaded under the DES
+// runtime's package path, goroutines and selects are the runtime's
+// prerogative — but wall clocks and the global rand stay banned even
+// here.
+package sched
+
+import "time"
+
+func runtimePrimitives(ch chan int) int {
+	go func() { ch <- 1 }()
+	select {
+	case v := <-ch:
+		return v
+	}
+}
+
+func stillNoWallClock() time.Time {
+	return time.Now() // want `wall clock on the virtual-time path`
+}

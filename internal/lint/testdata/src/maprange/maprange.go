@@ -1,0 +1,87 @@
+// Package maprange is the fixture for the maprange analyzer, loaded
+// under a determinism-relevant package path.
+package maprange
+
+import (
+	"sort"
+)
+
+// The blessed idiom: collect keys, sort, then iterate in order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice counts as a sort, and values may be collected too.
+func sortedPairs(m map[string]int) ([]string, []int) {
+	var ks []string
+	var vs []int
+	for k, v := range m {
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	sort.Ints(vs)
+	return ks, vs
+}
+
+// Collected but never sorted: the caller receives random order.
+func collectedUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is random`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Collected, but used (len) before the sort: still order-dependent at
+// that use.
+func usedBeforeSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is random`
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Effects beyond collection: the send order leaks the map order.
+func sendsDirectly(m map[string]int, ch chan int) {
+	for _, v := range m { // want `map iteration order is random`
+		ch <- v
+	}
+}
+
+// Building another map hides the order dependence without removing it
+// if anything order-dependent consumed it; the analyzer flags the shape.
+func buildsMap(m map[string]int) map[int]string {
+	inv := map[int]string{}
+	for k, v := range m { // want `map iteration order is random`
+		inv[v] = k
+	}
+	return inv
+}
+
+// A commutative fold may be annotated.
+func annotatedFold(m map[string]int) int {
+	total := 0
+	//lint:unordered — commutative sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Ranging over slices is always fine.
+func sliceRange(xs []int, ch chan int) {
+	for _, v := range xs {
+		ch <- v
+	}
+}

@@ -1,0 +1,66 @@
+// Package obsnilsafe is the fixture for the obsnilsafe analyzer:
+// exported pointer-receiver methods on exported handle types must open
+// with a nil-receiver guard, delegate to one that does, or carry
+// //lint:nilok.
+package obsnilsafe
+
+// Handle mimics a telemetry handle: nil means "disabled".
+type Handle struct{ n int }
+
+func (h *Handle) Guarded() int {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// A reversed guard is still a guard.
+func (h *Handle) GuardedReversed() int {
+	if nil == h {
+		return 0
+	}
+	return h.n
+}
+
+func (h *Handle) Unguarded() int { return h.n } // want `does not start with a nil-receiver guard`
+
+// Single-statement delegation to a guarded method on the same receiver.
+func (h *Handle) Inc() { h.Add(1) }
+
+// Delegation through a return works too.
+func (h *Handle) Doubled() int { return h.Twice() }
+
+func (h *Handle) Twice() int {
+	if h == nil {
+		return 0
+	}
+	return 2 * h.n
+}
+
+func (h *Handle) Add(d int) {
+	if h == nil {
+		return
+	}
+	h.n += d
+}
+
+// Multi-statement bodies need their own guard even if they end in a
+// guarded call.
+func (h *Handle) AddTwo() { // want `does not start with a nil-receiver guard`
+	h.Add(1)
+	h.Add(1)
+}
+
+//lint:nilok — returned by an infallible constructor, never nil
+func (h *Handle) Trusted() int { return h.n }
+
+// Unexported methods and unexported types are outside the public
+// contract.
+func (h *Handle) internal() int { return h.n }
+
+type hidden struct{ n int }
+
+func (x *hidden) Exposed() int { return x.n }
+
+// Value receivers cannot be nil.
+func (h Handle) Snapshot() int { return h.n }

@@ -109,10 +109,18 @@ type Attribution struct {
 }
 
 // Seconds returns a category's attributed time in seconds.
-func (a *Attribution) Seconds(c Category) float64 { return a.ByCat[c].Seconds() }
+func (a *Attribution) Seconds(c Category) float64 {
+	if a == nil {
+		return 0
+	}
+	return a.ByCat[c].Seconds()
+}
 
 // Share returns a category's fraction of the total (0 when empty).
 func (a *Attribution) Share(c Category) float64 {
+	if a == nil {
+		return 0
+	}
 	if a.Total <= 0 {
 		return 0
 	}
@@ -197,6 +205,7 @@ func buildGraph(c *trace.Collector) *graph {
 	for _, w := range c.Waits {
 		g.acts[w.Rank] = append(g.acts[w.Rank], act{start: w.Start, end: w.End, wkind: w.Kind, cause: w.Cause})
 	}
+	//lint:unordered — keyed by rank; each rank's slice is sorted in place and later reads index by rank.
 	for r, as := range g.acts {
 		sort.SliceStable(as, func(i, j int) bool {
 			if as[i].start != as[j].start {
@@ -217,6 +226,7 @@ func buildGraph(c *trace.Collector) *graph {
 	for i, m := range c.Msgs {
 		g.arr[m.To] = append(g.arr[m.To], i)
 	}
+	//lint:unordered — keyed by rank; each rank's index list is sorted in place and later reads index by rank.
 	for r, idxs := range g.arr {
 		sort.SliceStable(idxs, func(i, j int) bool { return g.msgs[idxs[i]].Recv < g.msgs[idxs[j]].Recv })
 		g.cursor[r] = len(idxs) - 1
@@ -297,6 +307,7 @@ func (g *graph) latestArrival(r int, t des.Time) (trace.Msg, int, bool) {
 // trace.
 func maxWalkSteps(g *graph) int {
 	n := len(g.msgs)
+	//lint:unordered — commutative sum of lengths.
 	for _, as := range g.acts {
 		n += len(as)
 	}
@@ -476,6 +487,9 @@ func Analyze(c *trace.Collector, total des.Time) (*Attribution, bool) {
 // Summary renders the per-category attribution on one line, shares first,
 // in the fixed category order.
 func (a *Attribution) Summary() string {
+	if a == nil {
+		return ""
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "total %s:", fmtSec(a.Total.Seconds()))
 	for c := Category(0); c < NumCategories; c++ {
@@ -490,6 +504,9 @@ func (a *Attribution) Summary() string {
 // Listing renders the path as an annotated rank-hop listing, one line per
 // rank-visit, newest last. maxLines > 0 elides the middle of long paths.
 func (a *Attribution) Listing(maxLines int) string {
+	if a == nil {
+		return ""
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "critical path: %d rank-visits, %s end to end\n", len(a.Segs), fmtSec(a.Total.Seconds()))
 	lines := make([]string, 0, len(a.Segs))

@@ -85,6 +85,9 @@ func (s *Sweep) FinishedCached(key string) { s.setState(key, StateCached, 0) }
 // Finished marks a cell as executed to completion; hostSec is its
 // measured host time, errored whether it failed.
 func (s *Sweep) Finished(key string, hostSec float64, errored bool) {
+	if s == nil {
+		return
+	}
 	st := StateDone
 	if errored {
 		st = StateError

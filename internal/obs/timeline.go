@@ -104,7 +104,11 @@ func (rs *Residuals) Ranks() int {
 	return len(rs.ranks)
 }
 
-// Rank returns rank r's timeline (read-only view).
+// Rank returns rank r's timeline (read-only view), nil on a nil
+// (recording-disabled) receiver.
 func (rs *Residuals) Rank(r int) *Timeline {
+	if rs == nil {
+		return nil
+	}
 	return &rs.ranks[r]
 }

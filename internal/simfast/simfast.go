@@ -250,12 +250,8 @@ func (e *run) recoverRankK(p *des.Proc, r int, k func()) {
 		e.restarts++
 		e.cfg.Residuals.MarkRestart(r, p.Now().Seconds())
 		copy(e.xs[r], e.x0)
-		for key := range e.heard[r] {
-			delete(e.heard[r], key)
-		}
-		for key := range e.lastArrival[r] {
-			delete(e.lastArrival[r], key)
-		}
+		clear(e.heard[r])
+		clear(e.lastArrival[r])
 		e.maxGap[r] = 0
 		e.dirty[r] = true
 		k()
@@ -421,6 +417,7 @@ func (e *run) allChannelsFreshSince(r int, t des.Time) bool {
 	if len(la) < e.plan.RecvCount[r] {
 		return false
 	}
+	//lint:unordered — pure universally-quantified check, no effects; the answer is order-independent
 	for _, at := range la {
 		if at <= t {
 			return false

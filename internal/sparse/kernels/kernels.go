@@ -83,6 +83,8 @@ func Variants() []Variant {
 
 // clipBand clips the row range [lo,hi) to the rows where diagonal offset
 // o stays inside an n×n matrix. The result may be empty (rhi <= rlo).
+//
+//lint:hotpath
 func clipBand(n, lo, hi, o int) (rlo, rhi int) {
 	rlo, rhi = lo, hi
 	if o > 0 && rhi > n-o {
@@ -96,6 +98,8 @@ func clipBand(n, lo, hi, o int) (rlo, rhi int) {
 
 // MatVecBaseline is the frozen pre-kernelization RowRangeMulVec body:
 // zero-fill dst, then one clipped accumulation pass per diagonal.
+//
+//lint:hotpath
 func MatVecBaseline(a *sparse.DIA, lo, hi int, dst, x []float64) {
 	for i := range dst[:hi-lo] {
 		dst[i] = 0
@@ -111,6 +115,8 @@ func MatVecBaseline(a *sparse.DIA, lo, hi int, dst, x []float64) {
 
 // MatVecFirstDiag lets the main diagonal (always Offsets[0] == 0, full
 // row range) initialize dst, deleting the zero-fill pass.
+//
+//lint:hotpath
 func MatVecFirstDiag(a *sparse.DIA, lo, hi int, dst, x []float64) {
 	d0 := a.Diags[0]
 	for i := lo; i < hi; i++ {
@@ -129,6 +135,8 @@ func MatVecFirstDiag(a *sparse.DIA, lo, hi int, dst, x []float64) {
 // initDiag0 writes dst[j] = A[lo+j][lo+j] * x[lo+j] with all operands
 // re-sliced to one shared length so the compiler can prove every index
 // in-bounds once.
+//
+//lint:hotpath
 func initDiag0(a *sparse.DIA, lo, hi int, dst, x []float64) {
 	m := hi - lo
 	out := dst[:m]
@@ -141,6 +149,8 @@ func initDiag0(a *sparse.DIA, lo, hi int, dst, x []float64) {
 
 // accumBandRange adds diagonal k's contribution for rows [rlo,rhi) into
 // dst (block origin lo), bounds-check-free.
+//
+//lint:hotpath
 func accumBandRange(a *sparse.DIA, lo int, dst, x []float64, k, rlo, rhi int) {
 	if rhi <= rlo {
 		return
@@ -157,6 +167,8 @@ func accumBandRange(a *sparse.DIA, lo int, dst, x []float64, k, rlo, rhi int) {
 
 // MatVecBCE is MatVecFirstDiag with every accumulation loop re-sliced to
 // a shared length, eliminating per-element bounds checks.
+//
+//lint:hotpath
 func MatVecBCE(a *sparse.DIA, lo, hi int, dst, x []float64) {
 	initDiag0(a, lo, hi, dst, x)
 	for k := 1; k < len(a.Offsets); k++ {
@@ -168,6 +180,8 @@ func MatVecBCE(a *sparse.DIA, lo, hi int, dst, x []float64) {
 // MatVecUnroll4 is MatVecBCE with the per-diagonal accumulation loop
 // unrolled 4-wide. Per-element order is unchanged: each element still
 // receives exactly one contribution per pass.
+//
+//lint:hotpath
 func MatVecUnroll4(a *sparse.DIA, lo, hi int, dst, x []float64) {
 	initDiag0(a, lo, hi, dst, x)
 	for k := 1; k < len(a.Offsets); k++ {
@@ -200,6 +214,8 @@ func MatVecUnroll4(a *sparse.DIA, lo, hi int, dst, x []float64) {
 // ascending-k order holds everywhere: core rows see k,k+1,k+2,k+3 inside
 // one iteration, remainder rows see their covering bands in ascending k
 // because the remainder passes run in ascending k.
+//
+//lint:hotpath
 func accumFuse4(a *sparse.DIA, lo, hi int, dst, x []float64, k int) {
 	o0, o1, o2, o3 := a.Offsets[k], a.Offsets[k+1], a.Offsets[k+2], a.Offsets[k+3]
 	l0, h0 := clipBand(a.N, lo, hi, o0)
@@ -246,6 +262,8 @@ func accumFuse4(a *sparse.DIA, lo, hi int, dst, x []float64, k int) {
 // MatVecFuse4 is the full accumulate used by the shipped kernels:
 // firstdiag init, then four diagonals fused per pass, bounds-check-free
 // throughout.
+//
+//lint:hotpath
 func MatVecFuse4(a *sparse.DIA, lo, hi int, dst, x []float64) {
 	initDiag0(a, lo, hi, dst, x)
 	nb := len(a.Offsets)
@@ -263,6 +281,8 @@ func MatVecFuse4(a *sparse.DIA, lo, hi int, dst, x []float64) {
 // flops per stored band element plus five per row for the update. It is
 // what the simulators charge, which is why host-time kernel work cannot
 // move virtual time.
+//
+//lint:hotpath
 func stepFlops(a *sparse.DIA, lo, hi int) float64 {
 	rows := float64(hi - lo)
 	return 2*float64(len(a.Offsets))*rows + 5*rows
@@ -271,6 +291,8 @@ func stepFlops(a *sparse.DIA, lo, hi int) float64 {
 // updateInPlace is the frozen reference update traversal: read the
 // accumulated A*x from ax, write the relaxed values back into x[lo:hi),
 // return the max-norm change.
+//
+//lint:hotpath
 func updateInPlace(a *sparse.DIA, lo, hi int, gamma float64, x, b, ax []float64) float64 {
 	var maxd float64
 	for i := lo; i < hi; i++ {
@@ -285,6 +307,8 @@ func updateInPlace(a *sparse.DIA, lo, hi int, gamma float64, x, b, ax []float64)
 
 // StepBaseline is the frozen pre-kernelization GradientStep: baseline
 // matvec into scratch, then the separate update traversal.
+//
+//lint:hotpath
 func StepBaseline(a *sparse.DIA, lo, hi int, gamma float64, x, b, scratch []float64) (float64, float64) {
 	ax := scratch[:hi-lo]
 	MatVecBaseline(a, lo, hi, ax, x)
@@ -293,6 +317,8 @@ func StepBaseline(a *sparse.DIA, lo, hi int, gamma float64, x, b, scratch []floa
 
 // StepFirstDiag swaps in the firstdiag matvec, keeping the reference
 // update traversal.
+//
+//lint:hotpath
 func StepFirstDiag(a *sparse.DIA, lo, hi int, gamma float64, x, b, scratch []float64) (float64, float64) {
 	ax := scratch[:hi-lo]
 	MatVecFirstDiag(a, lo, hi, ax, x)
@@ -301,6 +327,8 @@ func StepFirstDiag(a *sparse.DIA, lo, hi int, gamma float64, x, b, scratch []flo
 
 // StepUnroll4 swaps in the unroll4 matvec, keeping the reference update
 // traversal.
+//
+//lint:hotpath
 func StepUnroll4(a *sparse.DIA, lo, hi int, gamma float64, x, b, scratch []float64) (float64, float64) {
 	ax := scratch[:hi-lo]
 	MatVecUnroll4(a, lo, hi, ax, x)
@@ -309,6 +337,8 @@ func StepUnroll4(a *sparse.DIA, lo, hi int, gamma float64, x, b, scratch []float
 
 // StepFuse4 swaps in the fuse4 matvec, keeping the reference update
 // traversal.
+//
+//lint:hotpath
 func StepFuse4(a *sparse.DIA, lo, hi int, gamma float64, x, b, scratch []float64) (float64, float64) {
 	ax := scratch[:hi-lo]
 	MatVecFuse4(a, lo, hi, ax, x)
@@ -331,6 +361,8 @@ const stepTileRows = 2048
 // NOT published to x — callers copy scratch into x[lo:hi) once every
 // chunk has finished reading the old iterate. Returns the chunk's
 // max-norm change.
+//
+//lint:hotpath
 func fusedChunk(a *sparse.DIA, lo, clo, chi int, gamma float64, x, b, scratch []float64) float64 {
 	var maxd float64
 	for tlo := clo; tlo < chi; tlo += stepTileRows {
@@ -361,6 +393,8 @@ func fusedChunk(a *sparse.DIA, lo, clo, chi int, gamma float64, x, b, scratch []
 // traversal, and one copy publishes the new values. Bit-identical to
 // StepBaseline on both paths because no x[i] is overwritten until every
 // row has read the old iterate.
+//
+//lint:hotpath
 func StepFused(a *sparse.DIA, lo, hi int, gamma float64, x, b, scratch []float64) (float64, float64) {
 	if hi-lo <= stepTileRows {
 		ax := scratch[:hi-lo]

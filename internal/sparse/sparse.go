@@ -145,6 +145,8 @@ func abs(x int) int {
 }
 
 // MulVec computes dst = A*x. Flops: ~2*NNZ.
+//
+//lint:hotpath
 func (a *DIA) MulVec(dst, x []float64) {
 	if len(dst) != a.N || len(x) != a.N {
 		panic("sparse: dimension mismatch in MulVec")
@@ -162,6 +164,8 @@ func (a *DIA) MulVec(dst, x []float64) {
 // unrolled 4-wide. Per-element contributions stay in ascending-diagonal
 // order, so the result is bit-identical to the naive k-outer reference —
 // the kernels package property-tests exactly that.
+//
+//lint:hotpath
 func (a *DIA) RowRangeMulVec(lo, hi int, dst, x []float64) {
 	if lo < 0 || hi > a.N || lo > hi {
 		panic("sparse: bad row range")
@@ -229,6 +233,8 @@ const gradientTileRows = 2048
 // into scratch — a band may make any later row read x inside [lo,hi), so
 // no x[i] is overwritten until every tile has accumulated — and publish
 // the new values with one copy at the end.
+//
+//lint:hotpath
 func (a *DIA) GradientStep(lo, hi int, gamma float64, x, b, scratch []float64) (residual, flops float64) {
 	var maxd float64
 	rows := float64(hi - lo)

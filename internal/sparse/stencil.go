@@ -93,6 +93,8 @@ func splitmix64(z uint64) uint64 {
 // val returns the off-diagonal entry for band k (1-based index into
 // offsets) at row i: magnitude in [0.5, 1.5) from the hash, sign
 // alternating with the band index exactly like NewSystem's draw.
+//
+//lint:hotpath
 func (s *Stencil) val(k, i int) float64 {
 	z := splitmix64(s.hashSeed ^ uint64(k)<<56 ^ uint64(i)*0x9E3779B97F4A7C15)
 	u := 0.5 + float64(z>>11)/(1<<53)
@@ -152,6 +154,8 @@ func (s *Stencil) DiagAt(i int) float64 {
 }
 
 // MulVec implements Operator.
+//
+//lint:hotpath
 func (s *Stencil) MulVec(dst, x []float64) {
 	if len(dst) != s.n || len(x) != s.n {
 		panic("sparse: dimension mismatch in MulVec")
@@ -165,6 +169,8 @@ func (s *Stencil) MulVec(dst, x []float64) {
 // pbuf because the diagonal — which must be added first — is only known
 // once every off-diagonal magnitude has been summed. Each entry is
 // hashed exactly once per row.
+//
+//lint:hotpath
 func (s *Stencil) rowAccum(i int, x []float64, pbuf *[maxStencilBands]float64) (acc, diag float64) {
 	var rowSum float64
 	np := 0
@@ -190,6 +196,8 @@ func (s *Stencil) rowAccum(i int, x []float64, pbuf *[maxStencilBands]float64) (
 // RowRangeMulVec implements Operator. Row-wise: each row hashes its
 // band entries once and accumulates in the reference order, so the
 // result is bit-identical to Materialize().RowRangeMulVec.
+//
+//lint:hotpath
 func (s *Stencil) RowRangeMulVec(lo, hi int, dst, x []float64) {
 	if lo < 0 || hi > s.n || lo > hi {
 		panic("sparse: bad row range")
@@ -210,6 +218,8 @@ func (s *Stencil) RowRangeMulVec(lo, hi int, dst, x []float64) {
 // may read x inside [lo,hi)) and published with one copy. The update
 // expression and flop model are identical to DIA.GradientStep, and the
 // result is bit-identical to running it on the materialized matrix.
+//
+//lint:hotpath
 func (s *Stencil) GradientStep(lo, hi int, gamma float64, x, b, scratch []float64) (residual, flops float64) {
 	nv := scratch[:hi-lo]
 	var maxd float64

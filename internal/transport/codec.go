@@ -46,6 +46,8 @@ var ErrBadFrame = errors.New("transport: malformed frame")
 func MsgBytes(n int) int { return frameHeaderBytes + 8*n }
 
 // AppendMsg appends m's wire frame to buf and returns the extended slice.
+//
+//lint:hotpath
 func AppendMsg(buf []byte, m Msg) []byte {
 	le := binary.LittleEndian
 	buf = le.AppendUint32(buf, uint32(MsgBytes(len(m.Values))-4))
